@@ -1,0 +1,200 @@
+// Package amoeba is the public API of this reproduction of "Amoeba:
+// QoS-Awareness and Reduced Resource Usage of Microservices with
+// Serverless Computing" (Li et al., IPDPS 2020).
+//
+// Amoeba is a runtime that switches each microservice between an
+// IaaS-based deployment (long-term rented VMs) and a serverless-based
+// deployment (a shared FaaS container pool) so that resource usage is
+// minimised while the 95%-ile latency stays within the QoS target. The
+// switching decision is contention-aware: a multi-resource contention
+// monitor quantifies the pressure on the shared pool's CPU, disk and
+// network through probe functions ("contention meters"), and a
+// controller predicts the admissible load λ(μ_n) from an M/M/N
+// discriminant whose per-container capacity μ_n is calibrated online with
+// PCA regression.
+//
+// The package wraps the internal implementation behind a stable surface:
+//
+//   - Benchmarks:   the FunctionBench-like workload suite (Table III)
+//   - Scenario/Run: full-system simulations for any variant
+//     (Amoeba, Amoeba-NoM, Amoeba-NoP, pure IaaS, pure serverless)
+//   - Experiments:  one driver per table/figure of the paper (§VII)
+//
+// Quick start:
+//
+//	prof, _ := amoeba.BenchmarkByName("dd")
+//	sc := amoeba.NewScenario(amoeba.Amoeba, prof, amoeba.DefaultScenarioOptions())
+//	res := amoeba.Run(sc)
+//	sr := res.Services[prof.Name]
+//	fmt.Println("p95:", sr.Collector.P95(), "QoS met:", sr.Collector.QoSMet())
+package amoeba
+
+import (
+	"io"
+
+	"amoeba/internal/contention"
+	"amoeba/internal/core"
+	"amoeba/internal/experiments"
+	"amoeba/internal/metrics"
+	"amoeba/internal/resources"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+// Variant selects the system under evaluation.
+type Variant = core.Variant
+
+// The five systems of the evaluation (§VII).
+const (
+	Amoeba    = core.VariantAmoeba    // full system
+	AmoebaNoM = core.VariantAmoebaNoM // monitor's PCA calibration disabled
+	AmoebaNoP = core.VariantAmoebaNoP // container prewarm disabled
+	Nameko    = core.VariantNameko    // pure IaaS baseline
+	OpenWhisk = core.VariantOpenWhisk // pure serverless baseline
+	// Autoscale is an extension baseline beyond the paper: a
+	// Kubernetes-style horizontal VM autoscaler on the IaaS platform.
+	Autoscale = core.VariantAutoscale
+)
+
+// Benchmark is one microservice workload profile (Table III). Construct
+// custom profiles with composite literals; Validate reports mistakes.
+type Benchmark = workload.Profile
+
+// ResourceVector is a demand or capacity across the four shared
+// resources: CPU cores, memory MB, disk MB/s, network Mb/s.
+type ResourceVector = resources.Vector
+
+// Sensitivity is a service's susceptibility to contention on each
+// meter-visible resource, in [0, 1] (Table III).
+type Sensitivity = contention.Sensitivity
+
+// Overheads is the serverless per-query latency anatomy (Fig. 4).
+type Overheads = workload.Overheads
+
+// ContainerMemMB is the serverless container size of Table II (256 MB).
+const ContainerMemMB = workload.ContainerMemMB
+
+// Benchmarks returns the five FunctionBench-like workloads in Table III
+// order: float, matmul, linpack, dd, cloud_stor.
+func Benchmarks() []Benchmark { return workload.All() }
+
+// BenchmarkByName looks a benchmark up by its Table III name.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// Scenario describes one evaluation run; build it with NewScenario or
+// assemble it directly for multi-service setups.
+type Scenario = core.Scenario
+
+// ServiceSpec pairs a benchmark with its load trace.
+type ServiceSpec = core.ServiceSpec
+
+// Result is a completed run; Services holds per-benchmark outcomes.
+type Result = core.Result
+
+// ServiceResult is one benchmark's outcome: latency collector, switch
+// timeline, resource usage integrals, and controller decisions.
+type ServiceResult = core.ServiceResult
+
+// Backend identifies which deployment served a query.
+type Backend = metrics.Backend
+
+// The two deployment modes.
+const (
+	BackendIaaS       = metrics.BackendIaaS
+	BackendServerless = metrics.BackendServerless
+)
+
+// Trace is a time-varying arrival-rate function.
+type Trace = trace.Trace
+
+// ConstantTrace returns a flat trace at the given QPS.
+func ConstantTrace(qps float64) Trace { return trace.Constant{QPS: qps} }
+
+// DiurnalTrace returns a Didi-shaped daily load pattern: a deep night
+// trough, morning and evening peaks, deterministic noise.
+func DiurnalTrace(peakQPS, troughQPS, dayLengthSeconds float64, seed uint64) Trace {
+	return trace.NewDiurnal(peakQPS, troughQPS, dayLengthSeconds, seed)
+}
+
+// LoadTraceCSV reads a two-column "time_seconds,qps" series into a
+// replayable trace with linear interpolation — how a production trace
+// (e.g. the Didi ride-request series the paper uses) enters a scenario.
+func LoadTraceCSV(r io.Reader) (Trace, error) { return trace.LoadCSV(r) }
+
+// SampledTrace builds a replayable trace from explicit (time, QPS)
+// samples.
+func SampledTrace(times, rates []float64) (Trace, error) {
+	return trace.NewSampled(times, rates)
+}
+
+// ScenarioOptions tunes NewScenario.
+type ScenarioOptions struct {
+	// DayLength is the virtual length of one diurnal day in seconds.
+	DayLength float64
+	// Days is the horizon in days.
+	Days float64
+	// TroughFraction is the night trough as a fraction of the peak.
+	TroughFraction float64
+	// Seed fixes all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Background adds the paper's §VII-A co-tenants to the shared pool.
+	Background bool
+}
+
+// DefaultScenarioOptions mirrors the evaluation setup: one compressed
+// 3600-second day, a 20% trough, background tenants on.
+func DefaultScenarioOptions() ScenarioOptions {
+	return ScenarioOptions{
+		DayLength:      3600,
+		Days:           1,
+		TroughFraction: 0.2,
+		Seed:           0xA0EBA,
+		Background:     true,
+	}
+}
+
+// NewScenario builds the paper's standard single-benchmark scenario: the
+// benchmark under a diurnal load, optionally with the three background
+// tenants sharing the serverless pool.
+func NewScenario(v Variant, prof Benchmark, opts ScenarioOptions) Scenario {
+	if opts.DayLength <= 0 || opts.Days <= 0 {
+		panic("amoeba: non-positive scenario horizon")
+	}
+	sc := Scenario{
+		Variant: v,
+		Services: []ServiceSpec{{
+			Profile: prof,
+			Trace:   DiurnalTrace(prof.PeakQPS, prof.PeakQPS*opts.TroughFraction, opts.DayLength, opts.Seed),
+		}},
+		Duration: opts.DayLength * opts.Days,
+		Seed:     opts.Seed,
+	}
+	if opts.Background {
+		sc.Background = core.BackgroundTenants(opts.DayLength, opts.Seed+7)
+	}
+	return sc
+}
+
+// Run executes a scenario to completion. Runs are deterministic for a
+// given scenario and seed.
+func Run(sc Scenario) *Result { return core.Run(sc) }
+
+// BackgroundTenants returns the §VII-A co-tenant set (float, dd,
+// cloud_stor at a low diurnal load) for custom scenarios.
+func BackgroundTenants(dayLength float64, seed uint64) []ServiceSpec {
+	return core.BackgroundTenants(dayLength, seed)
+}
+
+// ExperimentConfig scopes the paper-reproduction experiments.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig returns the standard evaluation configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// ExperimentSuite memoises full scenario runs shared by several figures.
+type ExperimentSuite = experiments.Suite
+
+// NewExperimentSuite creates an experiment suite.
+func NewExperimentSuite(cfg ExperimentConfig) *ExperimentSuite {
+	return experiments.NewSuite(cfg)
+}

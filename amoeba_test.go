@@ -1,0 +1,90 @@
+package amoeba_test
+
+import (
+	"testing"
+
+	"amoeba"
+)
+
+func TestBenchmarksSuite(t *testing.T) {
+	bs := amoeba.Benchmarks()
+	if len(bs) != 5 {
+		t.Fatalf("got %d benchmarks, want 5", len(bs))
+	}
+	want := []string{"float", "matmul", "linpack", "dd", "cloud_stor"}
+	for i, b := range bs {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, want[i])
+		}
+	}
+	if _, err := amoeba.BenchmarkByName("float"); err != nil {
+		t.Errorf("BenchmarkByName(float): %v", err)
+	}
+	if _, err := amoeba.BenchmarkByName("bogus"); err == nil {
+		t.Error("BenchmarkByName(bogus) did not error")
+	}
+}
+
+func TestPublicRunEndToEnd(t *testing.T) {
+	prof, err := amoeba.BenchmarkByName("float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := amoeba.DefaultScenarioOptions()
+	res := amoeba.Run(amoeba.NewScenario(amoeba.Amoeba, prof, opts))
+	sr := res.Services[prof.Name]
+	if sr == nil {
+		t.Fatal("no service result")
+	}
+	if sr.Collector.Count() < 1000 {
+		t.Fatalf("only %d queries", sr.Collector.Count())
+	}
+	if !sr.Collector.QoSMet() {
+		t.Errorf("Amoeba violated QoS via public API: p95 %v > %v",
+			sr.Collector.P95(), prof.QoSTarget)
+	}
+	if sr.Timeline.SwitchCount(amoeba.BackendServerless) == 0 {
+		t.Error("no switch to serverless over a full day")
+	}
+}
+
+func TestPublicRunDeterminism(t *testing.T) {
+	prof, _ := amoeba.BenchmarkByName("dd")
+	opts := amoeba.DefaultScenarioOptions()
+	a := amoeba.Run(amoeba.NewScenario(amoeba.Nameko, prof, opts))
+	b := amoeba.Run(amoeba.NewScenario(amoeba.Nameko, prof, opts))
+	if a.Services[prof.Name].Collector.P95() != b.Services[prof.Name].Collector.P95() {
+		t.Error("public API runs are not deterministic")
+	}
+}
+
+func TestCustomTraceScenario(t *testing.T) {
+	prof, _ := amoeba.BenchmarkByName("matmul")
+	sc := amoeba.Scenario{
+		Variant:  amoeba.OpenWhisk,
+		Services: []amoeba.ServiceSpec{{Profile: prof, Trace: amoeba.ConstantTrace(5)}},
+		Duration: 300,
+		Seed:     1,
+	}
+	res := amoeba.Run(sc)
+	sr := res.Services[prof.Name]
+	if sr.Collector.Count() < 1000 {
+		t.Fatalf("only %d queries at 5 QPS over 300s", sr.Collector.Count())
+	}
+	// 5 QPS is far below matmul's serverless capacity: QoS holds.
+	if !sr.Collector.QoSMet() {
+		t.Errorf("OpenWhisk at trivial load violated QoS: p95 %v", sr.Collector.P95())
+	}
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	prof, _ := amoeba.BenchmarkByName("float")
+	opts := amoeba.DefaultScenarioOptions()
+	opts.DayLength = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("zero day length did not panic")
+		}
+	}()
+	amoeba.NewScenario(amoeba.Amoeba, prof, opts)
+}

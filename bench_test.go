@@ -1,0 +1,361 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§VII), plus ablations of the design decisions
+// called out in DESIGN.md. Each benchmark regenerates the corresponding
+// artifact and reports the headline measurements as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's result set end to end. Results are deterministic
+// per seed; wall-clock time measures the simulator, not the metrics.
+package amoeba_test
+
+import (
+	"testing"
+
+	"amoeba/internal/arrival"
+	"amoeba/internal/contention"
+	"amoeba/internal/controller"
+	"amoeba/internal/core"
+	"amoeba/internal/experiments"
+	"amoeba/internal/metrics"
+	"amoeba/internal/monitor"
+	"amoeba/internal/queueing"
+	"amoeba/internal/serverless"
+	"amoeba/internal/sim"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+func benchCfg() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = true
+	return cfg
+}
+
+// benchSuite is shared across benchmarks so figure targets that reuse the
+// same scenario runs (Fig. 10/11/12/13/14/16) do not re-simulate.
+var benchSuite = experiments.NewSuite(benchCfg())
+
+func BenchmarkTableIISetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.TableII().Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIIIBenchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.TableIII().Rows() != 5 {
+			b.Fatal("wrong benchmark count")
+		}
+	}
+}
+
+func BenchmarkFig02IaaSUtilization(b *testing.B) {
+	var last *experiments.Fig02Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig02(benchCfg())
+	}
+	lo, hi := 1.0, 0.0
+	for _, r := range last.Rows {
+		if r.Lowest < lo {
+			lo = r.Lowest
+		}
+		if r.Highest > hi {
+			hi = r.Highest
+		}
+	}
+	b.ReportMetric(lo*100, "min_util_%")
+	b.ReportMetric(hi*100, "max_util_%")
+}
+
+func BenchmarkFig03PeakLoad(b *testing.B) {
+	var last *experiments.Fig03Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig03(benchCfg())
+	}
+	sum := 0.0
+	for _, r := range last.Rows {
+		sum += r.Ratio
+	}
+	b.ReportMetric(sum/float64(len(last.Rows))*100, "svless_peak_%of_iaas")
+}
+
+func BenchmarkFig04Breakdown(b *testing.B) {
+	var last *experiments.Fig04Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig04(benchCfg())
+	}
+	lo, hi := 1.0, 0.0
+	for _, r := range last.Rows {
+		if r.OverheadFrac < lo {
+			lo = r.OverheadFrac
+		}
+		if r.OverheadFrac > hi {
+			hi = r.OverheadFrac
+		}
+	}
+	b.ReportMetric(lo*100, "min_overhead_%")
+	b.ReportMetric(hi*100, "max_overhead_%")
+}
+
+func BenchmarkFig08MeterCurves(b *testing.B) {
+	var last *experiments.Fig08Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig08(benchCfg())
+	}
+	c := last.Curves[0]
+	b.ReportMetric(c.Latencies[len(c.Latencies)-1]/c.Latencies[0], "cpu_meter_latency_rise_x")
+}
+
+func BenchmarkFig09Surfaces(b *testing.B) {
+	var last *experiments.Fig09Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig09Default(benchCfg())
+	}
+	sf := last.Set.Surfaces[1] // dd's IO surface
+	b.ReportMetric(sf.Lat[len(sf.Pressures)-1][0]/sf.Lat[0][0], "dd_io_surface_rise_x")
+}
+
+func BenchmarkFig10LatencyCDF(b *testing.B) {
+	var last *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig10(benchSuite)
+	}
+	violators := 0
+	for _, e := range last.Entries {
+		if e.System == core.VariantOpenWhisk && !e.QoSMet {
+			violators++
+		}
+	}
+	b.ReportMetric(float64(violators), "openwhisk_violations")
+}
+
+func BenchmarkFig11ResourceUsage(b *testing.B) {
+	var last *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig11(benchSuite)
+	}
+	maxCPU, maxMem := 0.0, 0.0
+	for _, r := range last.Rows {
+		if r.CPUSavedFrac > maxCPU {
+			maxCPU = r.CPUSavedFrac
+		}
+		if r.MemSavedFrac > maxMem {
+			maxMem = r.MemSavedFrac
+		}
+	}
+	b.ReportMetric(maxCPU*100, "max_cpu_saved_%")
+	b.ReportMetric(maxMem*100, "max_mem_saved_%")
+}
+
+func BenchmarkFig12SwitchTimeline(b *testing.B) {
+	var last *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig12(benchSuite)
+	}
+	switches := 0
+	for _, tl := range last.Timelines {
+		switches += tl.ToServerless + tl.ToIaaS
+	}
+	b.ReportMetric(float64(switches), "switches")
+}
+
+func BenchmarkFig13UsageTimeline(b *testing.B) {
+	var last *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig13(benchSuite)
+	}
+	b.ReportMetric(float64(len(last.Timelines[0].Snapshots)), "snapshots")
+}
+
+func BenchmarkFig14AmoebaNoM(b *testing.B) {
+	var last *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig14(benchSuite)
+	}
+	maxCPU, maxMem := 0.0, 0.0
+	for _, r := range last.Rows {
+		if r.CPUIncrease > maxCPU {
+			maxCPU = r.CPUIncrease
+		}
+		if r.MemIncrease > maxMem {
+			maxMem = r.MemIncrease
+		}
+	}
+	b.ReportMetric(maxCPU, "nom_cpu_increase_x")
+	b.ReportMetric(maxMem, "nom_mem_increase_x")
+}
+
+func BenchmarkFig15DiscriminantError(b *testing.B) {
+	var last *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig15(benchSuite)
+	}
+	var sumA, sumN float64
+	for _, r := range last.Rows {
+		sumA += r.AmoebaErr
+		sumN += r.NoMErr
+	}
+	n := float64(len(last.Rows))
+	b.ReportMetric(sumA/n*100, "amoeba_err_%")
+	b.ReportMetric(sumN/n*100, "nom_err_%")
+}
+
+func BenchmarkFig16AmoebaNoP(b *testing.B) {
+	var last *experiments.Fig16Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig16(benchSuite)
+	}
+	hi := 0.0
+	for _, r := range last.Rows {
+		if r.ViolationFrac > hi {
+			hi = r.ViolationFrac
+		}
+	}
+	b.ReportMetric(hi*100, "max_nop_violation_%")
+}
+
+func BenchmarkOverheadMeters(b *testing.B) {
+	var last *experiments.OverheadResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Overhead(benchSuite)
+	}
+	total := 0.0
+	for _, r := range last.Rows {
+		total += r.AnalyticFrac
+	}
+	b.ReportMetric(total*100, "meters_cpu_%")
+}
+
+// BenchmarkExtElasticity regenerates the extension comparison of Amoeba
+// against a Kubernetes-style VM autoscaler.
+func BenchmarkExtElasticity(b *testing.B) {
+	var last *experiments.ElasticityResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Elasticity(benchSuite)
+	}
+	var amoebaViol, autoscaleViol float64
+	for _, r := range last.Rows {
+		amoebaViol += r.AmoebaViolations
+		autoscaleViol += r.AutoscaleViolations
+	}
+	n := float64(len(last.Rows))
+	b.ReportMetric(amoebaViol/n*100, "amoeba_violation_%")
+	b.ReportMetric(autoscaleViol/n*100, "autoscale_violation_%")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationDiscriminant compares the closed-form Eq. 5 against the
+// bisection the controller actually uses.
+func BenchmarkAblationDiscriminant(b *testing.B) {
+	const mu, n, td, r = 4.0, 10, 0.4, 0.95
+	var cf, bs float64
+	for i := 0; i < b.N; i++ {
+		bs = queueing.DiscriminantBisect(mu, n, td, r)
+		q := queueing.MMN{Lambda: bs, Mu: mu, N: n}
+		cf = queueing.DiscriminantClosedForm(q, td, r)
+	}
+	b.ReportMetric(bs, "bisect_qps")
+	b.ReportMetric(cf, "closed_form_qps")
+}
+
+// BenchmarkAblationInterferenceModel quantifies the additive-vs-q-norm gap
+// that gives Amoeba-NoM its pessimism.
+func BenchmarkAblationInterferenceModel(b *testing.B) {
+	model := contention.NewModel(serverless.DefaultConfig().Node.Capacity())
+	s := workload.DD().Sensitivity
+	p := contention.Pressure{CPU: 0.5, IO: 0.5, Net: 0.3}
+	var truth, additive float64
+	for i := 0; i < b.N; i++ {
+		truth = model.Slowdown(p, s)
+		additive = model.AdditiveSlowdown(p, s)
+	}
+	b.ReportMetric(truth, "qnorm_slowdown")
+	b.ReportMetric(additive, "additive_slowdown")
+}
+
+// BenchmarkAblationPrewarmHeadroom sweeps Eq. 7's headroom, reporting the
+// violation fraction at each setting for dd.
+func BenchmarkAblationPrewarmHeadroom(b *testing.B) {
+	prof := workload.DD()
+	cfg := benchCfg()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(cfg, prof, core.VariantAmoeba)
+		res := core.Run(sc)
+		frac = res.Services[prof.Name].Collector.ViolationFraction()
+	}
+	b.ReportMetric(frac*100, "violation_%")
+}
+
+// BenchmarkAblationWeights compares admissible loads predicted with w0
+// versus calibrated weights under a fixed contention point.
+func BenchmarkAblationWeights(b *testing.B) {
+	prof := workload.DD()
+	slCfg := serverless.DefaultConfig()
+	set := core.SurfaceSet(prof, slCfg)
+	pred := controller.NewPredictor(prof, set, 10, 0.95)
+	learned := monitor.Weights{W: [3]float64{0.3, 0.8, 0.1}, Learned: true}
+	pressure := [3]float64{0.2, 0.3, 0.1}
+	var admW0, admL float64
+	for i := 0; i < b.N; i++ {
+		admW0 = pred.AdmissibleLoad(monitor.InitialWeights(), pressure)
+		admL = pred.AdmissibleLoad(learned, pressure)
+	}
+	b.ReportMetric(admW0, "w0_admissible_qps")
+	b.ReportMetric(admL, "calibrated_admissible_qps")
+}
+
+// BenchmarkAblationWarmPoolStrategy compares two cold-start mitigations
+// on a pure serverless deployment at low load: Amoeba-style on-demand
+// reuse (no floor) versus the static warm-pool of Lin & Glikson [20]
+// (related work §VIII). The static pool eliminates cold starts at a
+// standing memory cost; the metrics expose the trade.
+func BenchmarkAblationWarmPoolStrategy(b *testing.B) {
+	run := func(minWarm int) (coldStarts int, memMBs float64) {
+		s := sim.New(99)
+		pool := serverless.New(s, serverless.DefaultConfig())
+		prof := workload.Float()
+		queryCold := 0
+		opts := []serverless.RegisterOption{}
+		if minWarm > 0 {
+			opts = append(opts, serverless.WithMinWarm(minWarm))
+		}
+		pool.Register(prof, func(r metrics.QueryRecord) {
+			if r.Breakdown.ColdStart > 0 {
+				queryCold++
+			}
+		}, opts...)
+		// Sparse Poisson traffic: mean gap 20s, beyond the 60s idle
+		// window often enough that cold starts happen without a floor.
+		gen := arrival.New(s, trace.Constant{QPS: 0.05}, func(sim.Time) { pool.Invoke(prof.Name) })
+		gen.Start()
+		s.Run(7200)
+		return queryCold, pool.UsageFor(prof.Name).MemMB
+	}
+	var coldNo, coldPool int
+	var memNo, memPool float64
+	for i := 0; i < b.N; i++ {
+		coldNo, memNo = run(0)
+		coldPool, memPool = run(2)
+	}
+	b.ReportMetric(float64(coldNo), "cold_starts_no_pool")
+	b.ReportMetric(float64(coldPool), "cold_starts_warm_pool")
+	b.ReportMetric(memPool/memNo, "warm_pool_mem_cost_x")
+}
+
+func benchScenario(cfg experiments.Config, prof workload.Profile, v core.Variant) core.Scenario {
+	return core.Scenario{
+		Variant: v,
+		Services: []core.ServiceSpec{{
+			Profile: prof,
+			Trace:   trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*cfg.TroughFraction, cfg.DayLength, cfg.Seed),
+		}},
+		Background: core.BackgroundTenants(cfg.DayLength, cfg.Seed+7),
+		Duration:   cfg.DayLength,
+		Seed:       cfg.Seed,
+	}
+}

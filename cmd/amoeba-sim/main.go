@@ -1,0 +1,88 @@
+// Command amoeba-sim runs one benchmark under one system variant for a
+// configurable number of virtual days and prints the outcome: QoS
+// statistics, deploy-mode switches, and resource usage.
+//
+// Usage:
+//
+//	amoeba-sim -bench dd -variant amoeba -days 1 -day-length 3600 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amoeba"
+	"amoeba/internal/report"
+)
+
+var variants = map[string]amoeba.Variant{
+	"amoeba":     amoeba.Amoeba,
+	"amoeba-nom": amoeba.AmoebaNoM,
+	"amoeba-nop": amoeba.AmoebaNoP,
+	"nameko":     amoeba.Nameko,
+	"openwhisk":  amoeba.OpenWhisk,
+	"autoscale":  amoeba.Autoscale,
+}
+
+func main() {
+	var (
+		benchName = flag.String("bench", "dd", "benchmark: float, matmul, linpack, dd, cloud_stor")
+		variant   = flag.String("variant", "amoeba", "system: amoeba, amoeba-nom, amoeba-nop, nameko, openwhisk, autoscale")
+		days      = flag.Float64("days", 1, "virtual days to simulate")
+		dayLength = flag.Float64("day-length", 3600, "virtual seconds per day")
+		trough    = flag.Float64("trough", 0.2, "night trough as a fraction of peak load")
+		seed      = flag.Uint64("seed", 0xA0EBA, "simulation seed")
+		noBG      = flag.Bool("no-background", false, "disable the background co-tenants")
+		timeline  = flag.Bool("timeline", false, "print the deploy-mode switch timeline")
+	)
+	flag.Parse()
+
+	prof, err := amoeba.BenchmarkByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	v, ok := variants[*variant]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	opts := amoeba.DefaultScenarioOptions()
+	opts.Days = *days
+	opts.DayLength = *dayLength
+	opts.TroughFraction = *trough
+	opts.Seed = *seed
+	opts.Background = !*noBG
+
+	fmt.Printf("running %s under %s for %.1f day(s) of %.0fs...\n",
+		prof.Name, *variant, *days, *dayLength)
+	res := amoeba.Run(amoeba.NewScenario(v, prof, opts))
+	sr := res.Services[prof.Name]
+
+	t := report.NewTable("result", "metric", "value")
+	t.AddRow("queries", sr.Collector.Count())
+	t.AddRow("p95 latency (s)", sr.Collector.P95())
+	t.AddRow("QoS target (s)", prof.QoSTarget)
+	t.AddRow("QoS met", sr.Collector.QoSMet())
+	t.AddRow("violating queries", fmt.Sprintf("%.2f%%", 100*sr.Collector.ViolationFraction()))
+	t.AddRow("served by IaaS", sr.Collector.BackendCount(amoeba.BackendIaaS))
+	t.AddRow("served by serverless", sr.Collector.BackendCount(amoeba.BackendServerless))
+	t.AddRow("switches to serverless", sr.Timeline.SwitchCount(amoeba.BackendServerless))
+	t.AddRow("switches to IaaS", sr.Timeline.SwitchCount(amoeba.BackendIaaS))
+	t.AddRow("blocked switch-ins", sr.BlockedSwitches)
+	t.AddRow("CPU usage (core-s)", sr.TotalUsage().CPU)
+	t.AddRow("memory usage (MB-s)", sr.TotalUsage().MemMB)
+	t.AddRow("meter overhead (core-s)", res.MeterCPUSeconds)
+	t.AddRow("simulated events", res.Events)
+	fmt.Print(t.String())
+
+	if *timeline {
+		tl := report.NewTable("switch timeline", "t_seconds", "to", "load_qps")
+		for _, sw := range sr.Timeline.Switches {
+			tl.AddRow(fmt.Sprintf("%.0f", sw.At), sw.To.String(), fmt.Sprintf("%.1f", sw.LoadQPS))
+		}
+		fmt.Print(tl.String())
+	}
+}

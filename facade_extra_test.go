@@ -1,0 +1,70 @@
+package amoeba_test
+
+import (
+	"strings"
+	"testing"
+
+	"amoeba"
+)
+
+func TestLoadTraceCSVThroughFacade(t *testing.T) {
+	tr, err := amoeba.LoadTraceCSV(strings.NewReader("0,10\n100,50\n200,20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rate(100) != 50 || tr.Peak() != 50 {
+		t.Errorf("replayed trace wrong: rate(100)=%v peak=%v", tr.Rate(100), tr.Peak())
+	}
+	if _, err := amoeba.LoadTraceCSV(strings.NewReader("garbage")); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+}
+
+func TestSampledTraceThroughFacade(t *testing.T) {
+	tr, err := amoeba.SampledTrace([]float64{0, 10}, []float64{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rate(5) != 10 {
+		t.Errorf("midpoint = %v, want 10", tr.Rate(5))
+	}
+	if _, err := amoeba.SampledTrace([]float64{0}, []float64{1}); err == nil {
+		t.Error("single-sample trace accepted")
+	}
+}
+
+func TestAutoscaleVariantThroughFacade(t *testing.T) {
+	prof, _ := amoeba.BenchmarkByName("float")
+	opts := amoeba.DefaultScenarioOptions()
+	res := amoeba.Run(amoeba.NewScenario(amoeba.Autoscale, prof, opts))
+	sr := res.Services[prof.Name]
+	if sr.Collector.Count() < 1000 {
+		t.Fatalf("only %d queries", sr.Collector.Count())
+	}
+	// The autoscaler must allocate less than the static peak deployment.
+	nk := amoeba.Run(amoeba.NewScenario(amoeba.Nameko, prof, opts)).Services[prof.Name]
+	if sr.TotalUsage().CPU >= nk.TotalUsage().CPU {
+		t.Errorf("autoscaler CPU %v not below static %v",
+			sr.TotalUsage().CPU, nk.TotalUsage().CPU)
+	}
+}
+
+func TestCustomBenchmarkValidatesThroughFacade(t *testing.T) {
+	b := amoeba.Benchmark{
+		Name:        "svc",
+		ExecTime:    0.1,
+		QoSTarget:   0.3,
+		Demand:      amoeba.ResourceVector{CPU: 1, MemMB: 100},
+		Sensitivity: amoeba.Sensitivity{CPU: 0.5},
+		PeakQPS:     10,
+		VMCores:     2,
+		VMMemMB:     4096,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid custom benchmark rejected: %v", err)
+	}
+	b.QoSTarget = 0.05 // below exec time
+	if b.Validate() == nil {
+		t.Error("impossible QoS target accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package controller implements the contention-aware deployment
+// controller (§IV): per service, it estimates the current load, predicts
+// the per-container processing capacity μ_n on the serverless platform
+// from the quantified pressure and the service's latency surfaces
+// (Eq. 6), evaluates the M/M/N discriminant (Eq. 5) for the admissible
+// load λ(μ_n), and decides which deployment mode the service should be in.
+package controller
+
+import (
+	"fmt"
+
+	"amoeba/internal/metrics"
+	"amoeba/internal/monitor"
+	"amoeba/internal/queueing"
+	"amoeba/internal/surfaces"
+	"amoeba/internal/workload"
+)
+
+// Predictor is the pure prediction core: given pressure, load, and
+// calibrated weights it produces μ_n and the admissible load. It is
+// deliberately side-effect free so Fig. 15 can evaluate it against
+// enumerated ground truth.
+type Predictor struct {
+	Profile  workload.Profile
+	Surfaces *surfaces.Set
+	NMax     int
+	// Quantile is the QoS latency quantile (0.95).
+	Quantile float64
+}
+
+// NewPredictor builds a predictor; panics on malformed inputs.
+func NewPredictor(prof workload.Profile, set *surfaces.Set, nMax int, quantile float64) *Predictor {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	if set == nil {
+		panic("controller: nil surface set")
+	}
+	if err := set.Validate(); err != nil {
+		panic(err)
+	}
+	if set.Service != prof.Name {
+		panic(fmt.Sprintf("controller: surfaces for %q used with profile %q", set.Service, prof.Name))
+	}
+	if nMax <= 0 {
+		panic("controller: non-positive nMax")
+	}
+	if quantile <= 0 || quantile >= 1 {
+		panic(fmt.Sprintf("controller: quantile %v out of (0,1)", quantile))
+	}
+	return &Predictor{Profile: prof, Surfaces: set, NMax: nMax, Quantile: quantile}
+}
+
+// Features converts a pressure estimate and a load into the degradation
+// features e_i = (L_i − base_i)/base_i of Eq. 6, where L_i is the surface
+// lookup at (P_i, load) and base_i the same surface at zero pressure —
+// isolating the contention effect from the service's own-load effect.
+func (p *Predictor) Features(pressure [3]float64, load float64) [3]float64 {
+	var e [3]float64
+	for i, sf := range p.Surfaces.Surfaces {
+		base := sf.BaselineAt(load)
+		l := sf.At(pressure[i], load)
+		if base <= 0 {
+			e[i] = 0
+			continue
+		}
+		v := (l - base) / base
+		if v < 0 {
+			v = 0
+		}
+		e[i] = v
+	}
+	return e
+}
+
+// BaselineBody returns L₀(V_u): the mean body latency at the given load
+// with zero ambient pressure — the service's own-load contention folded
+// in, ambient contention excluded. Averaged over the three surfaces'
+// zero-pressure rows (they estimate the same quantity independently).
+func (p *Predictor) BaselineBody(load float64) float64 {
+	s := 0.0
+	for _, sf := range p.Surfaces.Surfaces {
+		s += sf.BaselineAt(load)
+	}
+	return s / 3
+}
+
+// Mu implements Eq. 6: μ_n = 1 / (L₀ · S + α) where S is the predicted
+// ambient slowdown under the calibrated weights, L₀ the load-dependent
+// baseline body time, and α the warm-path platform overheads.
+func (p *Predictor) Mu(w monitor.Weights, pressure [3]float64, load float64) float64 {
+	e := p.Features(pressure, load)
+	s := w.Predict(e)
+	l0 := p.BaselineBody(load)
+	alpha := p.Profile.Overheads.Total()
+	return 1 / (l0*s + alpha)
+}
+
+// AdmissibleLoad returns λ(μ_n): the largest arrival rate the serverless
+// platform can absorb for this service while keeping the QoS-quantile
+// latency within target, given the current pressure. Because μ depends on
+// the service's own load through the surfaces, the bound is found by a
+// short fixed-point iteration.
+func (p *Predictor) AdmissibleLoad(w monitor.Weights, pressure [3]float64) float64 {
+	lambda := p.Profile.PeakQPS * 0.25 // starting guess
+	for iter := 0; iter < 8; iter++ {
+		mu := p.Mu(w, pressure, lambda)
+		next := queueing.DiscriminantBisect(mu, p.NMax, p.Profile.QoSTarget, p.Quantile)
+		if next <= 0 {
+			return 0
+		}
+		if diff := next - lambda; diff < 0.01 && diff > -0.01 {
+			return next
+		}
+		lambda = next
+	}
+	return lambda
+}
+
+// ClosedFormAdmissibleLoad evaluates the paper's literal Eq. 5 at the
+// operating point (used by the ablation comparing the closed form with
+// the bisection).
+func (p *Predictor) ClosedFormAdmissibleLoad(w monitor.Weights, pressure [3]float64, load float64) float64 {
+	mu := p.Mu(w, pressure, load)
+	q := queueing.MMN{Lambda: load, Mu: mu, N: p.NMax}
+	if !q.Stable() {
+		return 0
+	}
+	return queueing.DiscriminantClosedForm(q, p.Profile.QoSTarget, p.Quantile)
+}
+
+// Config tunes the deployment controller.
+type Config struct {
+	// DecisionPeriod is how often the controller re-evaluates, seconds.
+	DecisionPeriod float64
+	// LoadAlpha is the EWMA factor of the load estimator.
+	LoadAlpha float64
+	// SwitchInMargin: switch to serverless only when the load is below
+	// this fraction of λ(μ_n) — hysteresis against flapping.
+	SwitchInMargin float64
+	// SwitchOutMargin: switch back to IaaS when the load exceeds this
+	// fraction of λ(μ_n).
+	SwitchOutMargin float64
+	// MaxPostSwitchPressure bounds the predicted platform pressure after
+	// a switch-in; above it the switch would endanger co-located services
+	// (§III's safety rule).
+	MaxPostSwitchPressure float64
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		DecisionPeriod:        20,
+		LoadAlpha:             0.35,
+		SwitchInMargin:        0.80,
+		SwitchOutMargin:       0.95,
+		MaxPostSwitchPressure: 0.90,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DecisionPeriod <= 0 {
+		return fmt.Errorf("controller: non-positive decision period")
+	}
+	if c.LoadAlpha <= 0 || c.LoadAlpha > 1 {
+		return fmt.Errorf("controller: load alpha %v out of (0,1]", c.LoadAlpha)
+	}
+	if c.SwitchInMargin <= 0 || c.SwitchInMargin >= c.SwitchOutMargin || c.SwitchOutMargin > 1.5 {
+		return fmt.Errorf("controller: margins in=%v out=%v malformed (need 0 < in < out)",
+			c.SwitchInMargin, c.SwitchOutMargin)
+	}
+	if c.MaxPostSwitchPressure <= 0 || c.MaxPostSwitchPressure > 2 {
+		return fmt.Errorf("controller: max pressure %v out of (0,2]", c.MaxPostSwitchPressure)
+	}
+	return nil
+}
+
+// Decision is the controller's verdict for one period.
+type Decision struct {
+	At             float64
+	Target         metrics.Backend
+	LoadQPS        float64
+	AdmissibleQPS  float64
+	Mu             float64
+	Pressure       [3]float64
+	WeightsLearned bool
+	// Blocked is set when a switch-in was indicated by load but vetoed by
+	// the co-tenant safety check.
+	Blocked bool
+}
+
+// Controller drives the decision loop for one service. It is fed load
+// observations and pressure/weight estimates by the runtime and emits
+// target-mode decisions; the execution engine carries them out.
+type Controller struct {
+	cfg       Config
+	predictor *Predictor
+	loadEWMA  float64
+	loadInit  bool
+	mode      metrics.Backend
+	decisions []Decision
+}
+
+// New creates a controller starting in IaaS mode (the paper's step 1:
+// IaaS by default to guarantee QoS).
+func New(cfg Config, pred *Predictor) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if pred == nil {
+		panic("controller: nil predictor")
+	}
+	return &Controller{cfg: cfg, predictor: pred, mode: metrics.BackendIaaS}
+}
+
+// Predictor exposes the prediction core.
+func (c *Controller) Predictor() *Predictor { return c.predictor }
+
+// ObserveLoad folds a fresh arrival-rate measurement (QPS over the last
+// period) into the load estimate.
+func (c *Controller) ObserveLoad(qps float64) {
+	if !c.loadInit {
+		c.loadEWMA, c.loadInit = qps, true
+		return
+	}
+	a := c.cfg.LoadAlpha
+	c.loadEWMA = a*qps + (1-a)*c.loadEWMA
+}
+
+// Load returns the current load estimate V_u.
+func (c *Controller) Load() float64 { return c.loadEWMA }
+
+// Mode returns the mode the controller currently targets.
+func (c *Controller) Mode() metrics.Backend { return c.mode }
+
+// SetMode overrides the tracked mode (the engine confirms transitions).
+func (c *Controller) SetMode(m metrics.Backend) { c.mode = m }
+
+// Decide runs one decision period. postSwitchPressure predicts the
+// platform pressure if this service's serverless demand were added — the
+// runtime computes it from the service's demand vector and the monitor's
+// estimate; the controller vetoes switch-ins that would push any
+// dimension past the safety bound.
+func (c *Controller) Decide(now float64, w monitor.Weights, pressure [3]float64,
+	postSwitchPressure [3]float64) Decision {
+
+	adm := c.predictor.AdmissibleLoad(w, pressure)
+	mu := c.predictor.Mu(w, pressure, c.loadEWMA)
+	d := Decision{
+		At: now, LoadQPS: c.loadEWMA, AdmissibleQPS: adm, Mu: mu,
+		Pressure: pressure, WeightsLearned: w.Learned, Target: c.mode,
+	}
+	switch c.mode {
+	case metrics.BackendIaaS:
+		if c.loadEWMA <= c.cfg.SwitchInMargin*adm {
+			safe := true
+			for _, p := range postSwitchPressure {
+				if p > c.cfg.MaxPostSwitchPressure {
+					safe = false
+					break
+				}
+			}
+			if safe {
+				d.Target = metrics.BackendServerless
+			} else {
+				d.Blocked = true
+			}
+		}
+	case metrics.BackendServerless:
+		if c.loadEWMA > c.cfg.SwitchOutMargin*adm {
+			d.Target = metrics.BackendIaaS
+		}
+	}
+	c.decisions = append(c.decisions, d)
+	return d
+}
+
+// Decisions returns the decision history.
+func (c *Controller) Decisions() []Decision { return c.decisions }

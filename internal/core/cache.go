@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"amoeba/internal/meters"
+	"amoeba/internal/profiling"
+	"amoeba/internal/serverless"
+	"amoeba/internal/surfaces"
+	"amoeba/internal/workload"
+)
+
+// Profiling (meter curves, latency surfaces) is an offline step the paper
+// performs once per microservice ("for a long-running microservice, it is
+// acceptable to profile it", §IV-B). Experiments re-run many scenarios
+// over the same profiles, so the results are memoised process-wide, keyed
+// by the platform configuration they were measured under.
+
+var (
+	cacheMu      sync.Mutex
+	curveCache   = map[string][3]*meters.Curve{}
+	surfaceCache = map[string]*surfaces.Set{}
+)
+
+// fingerprint captures every config field that influences profiled
+// latencies.
+func fingerprint(cfg serverless.Config) string {
+	return fmt.Sprintf("%v|%v|%v|%v|%v|%v",
+		cfg.Node.Capacity(), cfg.ColdStartMean, cfg.CodeLoadColdFactor,
+		cfg.IdleTimeout, cfg.ContainerMemMB, cfg.MemReserve)
+}
+
+// MeterCurves returns the profiled Fig. 8 curves for the three contention
+// meters under the given platform configuration, building them on first
+// use.
+func MeterCurves(cfg serverless.Config) [3]*meters.Curve {
+	key := fingerprint(cfg)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := curveCache[key]; ok {
+		return c
+	}
+	c := profiling.AllMeterCurves(cfg, profiling.DefaultPressureGrid(), profiling.DefaultOptions())
+	curveCache[key] = c
+	return c
+}
+
+// SurfaceSet returns the profiled Fig. 9 latency surfaces for a service
+// under the given platform configuration, building them on first use.
+func SurfaceSet(prof workload.Profile, cfg serverless.Config) *surfaces.Set {
+	key := prof.Name + "§" + fingerprint(cfg)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := surfaceCache[key]; ok {
+		return s
+	}
+	set := profiling.BuildSet(prof, cfg,
+		profiling.DefaultPressureGrid(), profiling.DefaultLoadGrid(prof), profiling.DefaultOptions())
+	surfaceCache[key] = set
+	return set
+}
+
+// ResetProfileCache clears the memoised profiling results (tests use it to
+// exercise rebuilds).
+func ResetProfileCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	curveCache = map[string][3]*meters.Curve{}
+	surfaceCache = map[string]*surfaces.Set{}
+}

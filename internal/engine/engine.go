@@ -1,0 +1,374 @@
+// Package engine implements the hybrid execution engine (§V): per
+// service, it routes queries to the active backend, carries out the
+// switch protocol — prewarm containers (Eq. 7), wait for the
+// acknowledgement, flip the route, drain and release the old backend —
+// and feeds the controller and the monitor with load observations and
+// heartbeat packages.
+//
+// While a service is IaaS-deployed, the engine mirrors a small sample of
+// its queries to the serverless platform as *shadow* queries (the paper's
+// step 1: "Amoeba also routes queries of S_a to the serverless platform,
+// and collects the ... resource consumption"). Shadow latencies never
+// reach the user-visible statistics; they exist to keep the weight
+// calibration fed before any real switch happens.
+package engine
+
+import (
+	"fmt"
+
+	"amoeba/internal/controller"
+	"amoeba/internal/iaas"
+	"amoeba/internal/metrics"
+	"amoeba/internal/monitor"
+	"amoeba/internal/queueing"
+	"amoeba/internal/resources"
+	"amoeba/internal/serverless"
+	"amoeba/internal/sim"
+	"amoeba/internal/workload"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// SamplePeriod is the heartbeat/decision cadence, seconds (bounded
+	// below by Eq. 8; core computes it).
+	SamplePeriod float64
+	// ShadowFraction of IaaS-mode queries is mirrored to serverless.
+	ShadowFraction float64
+	// ShadowMaxQPS caps the mirrored load.
+	ShadowMaxQPS float64
+	// Prewarm enables the container prewarm module; disabling it
+	// reproduces Amoeba-NoP (§VII-D).
+	Prewarm bool
+	// PrewarmHeadroom adds containers beyond Eq. 7's n "for burst
+	// invocations" (§V-A).
+	PrewarmHeadroom int
+	// DrainPoll is the polling period while draining a backend.
+	DrainPoll float64
+	// MinDwell is the minimum time between consecutive switches —
+	// hysteresis against mode flapping when the load sits near λ(μ_n).
+	MinDwell float64
+	// WarmupPeriods is how many sample periods must pass before the first
+	// switch decision: the monitor's meter EWMA and the load estimate
+	// need a few samples to converge, and an early decision on a stale
+	// pressure estimate can walk into a saturated pool (the paper's step
+	// 1 keeps IaaS while data is collected).
+	WarmupPeriods int
+	// Capacity is the serverless node capacity, used to predict the
+	// pressure this service would add after a switch-in.
+	Capacity resources.Vector
+}
+
+// DefaultConfig returns the evaluation configuration for the given
+// serverless node capacity.
+func DefaultConfig(capacity resources.Vector) Config {
+	return Config{
+		SamplePeriod:    10,
+		ShadowFraction:  0.05,
+		ShadowMaxQPS:    1.0,
+		Prewarm:         true,
+		PrewarmHeadroom: 1,
+		DrainPoll:       0.5,
+		MinDwell:        120,
+		WarmupPeriods:   3,
+		Capacity:        capacity,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SamplePeriod <= 0 || c.DrainPoll <= 0 {
+		return fmt.Errorf("engine: non-positive periods")
+	}
+	if c.ShadowFraction < 0 || c.ShadowFraction > 0.5 {
+		return fmt.Errorf("engine: shadow fraction %v out of [0, 0.5]", c.ShadowFraction)
+	}
+	if c.ShadowMaxQPS < 0 {
+		return fmt.Errorf("engine: negative shadow cap")
+	}
+	if c.PrewarmHeadroom < 0 {
+		return fmt.Errorf("engine: negative prewarm headroom")
+	}
+	if c.MinDwell < 0 {
+		return fmt.Errorf("engine: negative min dwell")
+	}
+	if c.WarmupPeriods < 0 {
+		return fmt.Errorf("engine: negative warmup")
+	}
+	if c.Capacity.CPU <= 0 {
+		return fmt.Errorf("engine: missing node capacity")
+	}
+	return nil
+}
+
+// ShadowSuffix names the mirrored twin of a function on the pool.
+const ShadowSuffix = "#shadow"
+
+// Engine drives one service.
+type Engine struct {
+	sim  *sim.Simulator
+	pool *serverless.Platform
+	vms  *iaas.Platform
+	cfg  Config
+	prof workload.Profile
+	ctrl *controller.Controller
+	mon  *monitor.Monitor
+	rng  *sim.RNG
+
+	Collector *metrics.Collector
+	Timeline  *metrics.Timeline
+	// Windowed tracks the violation rate in 60 s windows: cold-start
+	// storms after a switch show up as single hot windows (Fig. 16's
+	// time-resolved view).
+	Windowed *metrics.WindowedViolations
+
+	mode       metrics.Backend
+	switching  bool
+	lastSwitch float64
+
+	arrivals       int     // since last tick
+	ticks          int     // sample periods elapsed
+	shadowSent     float64 // shadow tokens spent this period
+	execSum        float64 // warm serverless body time since last tick
+	execN          int
+	execLoadSum    float64 // load estimate attached to exec samples
+	switchBlocked  int
+	shadowComplete int
+}
+
+// New wires an engine for one service. The service must already be
+// registered on the pool and deployed on the IaaS platform by the caller
+// (core does this); the engine registers only the shadow twin.
+func New(s *sim.Simulator, pool *serverless.Platform, vms *iaas.Platform,
+	prof workload.Profile, ctrl *controller.Controller, mon *monitor.Monitor, cfg Config) *Engine {
+
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		sim: s, pool: pool, vms: vms, cfg: cfg, prof: prof,
+		ctrl: ctrl, mon: mon,
+		rng:       s.RNG().Split(),
+		Collector: metrics.NewCollector(prof.Name, prof.QoSTarget),
+		Timeline:  &metrics.Timeline{},
+		Windowed:  metrics.NewWindowedViolations(60, prof.QoSTarget),
+		mode:      metrics.BackendIaaS,
+	}
+	if cfg.ShadowFraction > 0 {
+		shadow := prof
+		shadow.Name = prof.Name + ShadowSuffix
+		pool.Register(shadow, func(r metrics.QueryRecord) {
+			e.shadowComplete++
+			e.observeServerlessBody(r)
+		}, serverless.WithNMax(4))
+	}
+	return e
+}
+
+// OnServerlessComplete must be passed as the pool completion callback for
+// the primary function registration.
+func (e *Engine) OnServerlessComplete(r metrics.QueryRecord) {
+	e.Collector.Observe(r)
+	e.Windowed.Observe(float64(e.sim.Now()), r)
+	e.observeServerlessBody(r)
+}
+
+// OnIaaSComplete must be passed as the IaaS completion callback.
+func (e *Engine) OnIaaSComplete(r metrics.QueryRecord) {
+	e.Collector.Observe(r)
+	e.Windowed.Observe(float64(e.sim.Now()), r)
+}
+
+func (e *Engine) observeServerlessBody(r metrics.QueryRecord) {
+	if r.Breakdown.ColdStart > 0 {
+		return // cold starts say nothing about contention (Eq. 8's worry)
+	}
+	e.execSum += r.Breakdown.Exec
+	e.execN++
+}
+
+// Start begins the periodic sample/decide loop.
+func (e *Engine) Start() {
+	e.sim.Every(e.cfg.SamplePeriod, e.tick)
+}
+
+// HandleQuery routes one arriving query.
+func (e *Engine) HandleQuery() {
+	e.arrivals++
+	switch e.mode {
+	case metrics.BackendIaaS:
+		e.vms.Invoke(e.prof.Name)
+		e.maybeShadow()
+	case metrics.BackendServerless:
+		e.pool.Invoke(e.prof.Name)
+	}
+}
+
+func (e *Engine) maybeShadow() {
+	if e.cfg.ShadowFraction <= 0 {
+		return
+	}
+	budget := e.cfg.ShadowMaxQPS * e.cfg.SamplePeriod
+	if e.shadowSent >= budget {
+		return
+	}
+	if e.rng.Float64() < e.cfg.ShadowFraction {
+		e.shadowSent++
+		e.pool.Invoke(e.prof.Name + ShadowSuffix)
+	}
+}
+
+// Mode returns the current routing mode.
+func (e *Engine) Mode() metrics.Backend { return e.mode }
+
+// Controller exposes the service's deployment controller.
+func (e *Engine) Controller() *controller.Controller { return e.ctrl }
+
+// Switching reports whether a transition is in flight.
+func (e *Engine) Switching() bool { return e.switching }
+
+// BlockedSwitches counts switch-ins vetoed by the co-tenant safety check.
+func (e *Engine) BlockedSwitches() int { return e.switchBlocked }
+
+// tick is one sample period: heartbeat to the monitor, load to the
+// controller, then a decision.
+func (e *Engine) tick() {
+	now := float64(e.sim.Now())
+	qps := float64(e.arrivals) / e.cfg.SamplePeriod
+	e.arrivals = 0
+	e.shadowSent = 0
+	e.ctrl.ObserveLoad(qps)
+
+	ambient := e.ambientPressure()
+
+	// Heartbeat: observed body slowdown vs surface-predicted features. A
+	// couple of samples say nothing (the body time is log-normal with
+	// CV up to 0.25); demand at least 3 before reporting, or the monitor
+	// would calibrate on noise.
+	if e.execN >= 3 {
+		// Both the features and the target are normalised against the
+		// same load-dependent baseline, so the regression learns the
+		// *ambient* contention effect, not the service's own-load one.
+		base := e.ctrl.Predictor().BaselineBody(e.ctrl.Load())
+		observed := (e.execSum / float64(e.execN)) / base
+		feat := e.ctrl.Predictor().Features(ambient, e.ctrl.Load())
+		e.mon.Heartbeat(e.prof.Name, feat, observed)
+		e.execSum, e.execN = 0, 0
+	}
+
+	e.Timeline.RecordSnapshot(metrics.Snapshot{
+		At: now, Mode: e.mode, LoadQPS: e.ctrl.Load(), Alloc: e.currentAlloc(),
+	})
+
+	e.ticks++
+	if e.ticks <= e.cfg.WarmupPeriods {
+		return // estimates not trustworthy yet; stay on IaaS (step 1)
+	}
+	if e.switching {
+		return // let the in-flight transition finish first
+	}
+	post := ambient
+	for i, own := range e.ownPressure() {
+		post[i] += own
+	}
+	d := e.ctrl.Decide(now, e.mon.WeightsFor(e.prof.Name), ambient, post)
+	if d.Blocked {
+		e.switchBlocked++
+	}
+	if d.Target != e.mode && (now-e.lastSwitch >= e.cfg.MinDwell || e.lastSwitch == 0) {
+		e.startSwitch(d.Target, d.LoadQPS)
+	}
+}
+
+// ambientPressure is the monitor's estimate with this service's own
+// serverless contribution removed. The latency surfaces are profiled with
+// the service *running at V_u* on top of an injected ambient pressure, so
+// feeding them the raw estimate while the service itself is serverless
+// would double-count its own demand — and make the controller oscillate:
+// switch in, see its own pressure, switch out.
+func (e *Engine) ambientPressure() [3]float64 {
+	p := e.mon.Pressure()
+	if e.mode != metrics.BackendServerless {
+		return p
+	}
+	own := e.ownPressure()
+	for i := range p {
+		p[i] -= own[i]
+		if p[i] < 0 {
+			p[i] = 0
+		}
+	}
+	return p
+}
+
+// ownPressure estimates the pressure this service's serverless demand adds
+// at the current load (Little's law: concurrency = load × busy time).
+func (e *Engine) ownPressure() [3]float64 {
+	conc := e.ctrl.Load() * (e.prof.ExecTime + e.prof.Overheads.Total())
+	d := e.prof.Demand.Scale(conc)
+	return [3]float64{
+		d.CPU / e.cfg.Capacity.CPU,
+		d.DiskMBs / e.cfg.Capacity.DiskMBs,
+		d.NetMbs / e.cfg.Capacity.NetMbs,
+	}
+}
+
+func (e *Engine) currentAlloc() resources.Vector {
+	alloc := e.vms.AllocFor(e.prof.Name)
+	alloc = alloc.Add(e.pool.AllocFor(e.prof.Name))
+	if e.cfg.ShadowFraction > 0 {
+		alloc = alloc.Add(e.pool.AllocFor(e.prof.Name + ShadowSuffix))
+	}
+	return alloc
+}
+
+// startSwitch runs the §V-B protocol towards the target backend.
+func (e *Engine) startSwitch(target metrics.Backend, load float64) {
+	e.switching = true
+	e.lastSwitch = float64(e.sim.Now())
+	switch target {
+	case metrics.BackendServerless:
+		// S_pw: prewarm per Eq. 7 plus headroom, flip on acknowledgement.
+		flip := func() {
+			e.mode = metrics.BackendServerless
+			e.ctrl.SetMode(target)
+			e.switching = false
+			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load)
+			// The IaaS side drains its in-flight queries, then releases
+			// the VMs (S_sd).
+			e.vms.Stop(e.prof.Name, nil)
+		}
+		if e.cfg.Prewarm {
+			n := queueing.PrewarmCount(load, e.prof.QoSTarget) + e.cfg.PrewarmHeadroom
+			e.pool.Prewarm(e.prof.Name, n, flip)
+		} else {
+			flip() // Amoeba-NoP: route immediately, cold starts and all
+		}
+	case metrics.BackendIaaS:
+		// Boot the VM group; queries keep flowing to serverless until the
+		// acknowledgement arrives.
+		e.vms.Start(e.prof.Name, func() {
+			e.mode = metrics.BackendIaaS
+			e.ctrl.SetMode(target)
+			e.switching = false
+			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load)
+			e.drainServerless()
+		})
+	}
+}
+
+// drainServerless releases the service's warm containers once its
+// in-flight activations finish (S_sd for the serverless side).
+func (e *Engine) drainServerless() {
+	var poll func()
+	poll = func() {
+		if e.mode != metrics.BackendIaaS {
+			return // switched back meanwhile; keep the containers
+		}
+		if e.pool.Inflight(e.prof.Name) == 0 {
+			e.pool.ReleaseIdle(e.prof.Name)
+			return
+		}
+		e.sim.After(e.cfg.DrainPoll, poll)
+	}
+	poll()
+}

@@ -1,0 +1,94 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation (§VII). Each driver returns a typed result with the
+// measured rows/series and can render itself through internal/report.
+// The per-experiment index — paper artifact → driver → bench target —
+// lives in DESIGN.md; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"amoeba/internal/core"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+// Config scopes every experiment run.
+type Config struct {
+	// DayLength is the virtual length of one diurnal day, seconds. The
+	// paper runs wall-clock days; the simulation compresses a day so the
+	// controller still sees dozens of decision periods per load level.
+	DayLength float64
+	// Days is the horizon in days.
+	Days float64
+	// TroughFraction is the night trough as a fraction of peak
+	// (paper: low load < 30% of peak).
+	TroughFraction float64
+	// Seed fixes all randomness.
+	Seed uint64
+	// Quick shrinks durations for tests; results get noisier.
+	Quick bool
+}
+
+// DefaultConfig returns the standard evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		DayLength:      3600,
+		Days:           1,
+		TroughFraction: 0.2,
+		Seed:           0xA0EBA,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DayLength <= 0 || c.Days <= 0 {
+		return fmt.Errorf("experiments: non-positive horizon")
+	}
+	if c.TroughFraction <= 0 || c.TroughFraction >= 1 {
+		return fmt.Errorf("experiments: trough fraction %v out of (0,1)", c.TroughFraction)
+	}
+	return nil
+}
+
+func (c Config) horizon() float64 {
+	h := c.DayLength * c.Days
+	if c.Quick {
+		h = c.DayLength // quick mode: exactly one day
+	}
+	return h
+}
+
+// diurnalFor builds the benchmark's day-shaped trace.
+func (c Config) diurnalFor(prof workload.Profile) trace.Trace {
+	return trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*c.TroughFraction, c.DayLength, c.Seed^hash(prof.Name))
+}
+
+// scenario builds the standard single-benchmark scenario of §VII-A: the
+// benchmark under a diurnal load plus the three background tenants.
+func (c Config) scenario(prof workload.Profile, v core.Variant) core.Scenario {
+	return core.Scenario{
+		Variant:    v,
+		Services:   []core.ServiceSpec{{Profile: prof, Trace: c.diurnalFor(prof)}},
+		Background: core.BackgroundTenants(c.DayLength, c.Seed+7),
+		Duration:   c.horizon(),
+		Seed:       c.Seed ^ hash(prof.Name) ^ uint64(v)<<13,
+	}
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// benchmarks returns the evaluation suite, trimmed in quick mode.
+func (c Config) benchmarks() []workload.Profile {
+	if c.Quick {
+		return []workload.Profile{workload.Float(), workload.DD()}
+	}
+	return workload.All()
+}

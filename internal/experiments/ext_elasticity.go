@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"amoeba/internal/core"
+	"amoeba/internal/cost"
+	"amoeba/internal/report"
+)
+
+// ElasticityRow compares one benchmark across the three elastic
+// strategies, all normalised to static Nameko.
+type ElasticityRow struct {
+	Benchmark string
+	// CPURel: CPU-time relative to Nameko, per system.
+	AmoebaCPURel    float64
+	AutoscaleCPURel float64
+	// Violation fractions (QoS risk each strategy takes for its savings).
+	AmoebaViolations    float64
+	AutoscaleViolations float64
+	AmoebaQoSMet        bool
+	AutoscaleQoSMet     bool
+	// Dollar bills under the default tariff.
+	AmoebaCost    float64
+	AutoscaleCost float64
+	NamekoCost    float64
+}
+
+// ElasticityResult is an extension experiment beyond the paper: Amoeba's
+// deployment switching versus a Kubernetes-style VM autoscaler (related
+// work [25]) under the same diurnal load. Both cut the static deployment's
+// idle cost; the question is what each pays in QoS. The autoscaler reacts
+// to load it has already failed to serve and boots VMs on the latency
+// path; Amoeba predicts with the discriminant and prewarms before
+// flipping the route.
+type ElasticityResult struct {
+	Rows []ElasticityRow
+}
+
+// Elasticity runs the comparison on the suite.
+func Elasticity(s *Suite) *ElasticityResult {
+	s.Prefetch(core.VariantAmoeba, core.VariantAutoscale, core.VariantNameko)
+	pricing := cost.DefaultPricing()
+	res := &ElasticityResult{}
+	for _, prof := range s.Cfg.benchmarks() {
+		am := s.Service(prof, core.VariantAmoeba)
+		as := s.Service(prof, core.VariantAutoscale)
+		nk := s.Service(prof, core.VariantNameko)
+		row := ElasticityRow{
+			Benchmark:           prof.Name,
+			AmoebaCPURel:        ratio(am.TotalUsage().CPU, nk.TotalUsage().CPU),
+			AutoscaleCPURel:     ratio(as.TotalUsage().CPU, nk.TotalUsage().CPU),
+			AmoebaViolations:    am.Collector.ViolationFraction(),
+			AutoscaleViolations: as.Collector.ViolationFraction(),
+			AmoebaQoSMet:        am.Collector.QoSMet(),
+			AutoscaleQoSMet:     as.Collector.QoSMet(),
+			AmoebaCost:          cost.ForService(pricing, am).Total(),
+			AutoscaleCost:       cost.ForService(pricing, as).Total(),
+			NamekoCost:          cost.ForService(pricing, nk).Total(),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the result as a table.
+func (r *ElasticityResult) Render() *report.Table {
+	t := report.NewTable("Extension: Amoeba vs VM autoscaler (normalised to Nameko)",
+		"benchmark", "amoeba_cpu", "autoscale_cpu",
+		"amoeba_qos", "autoscale_qos", "amoeba_viol", "autoscale_viol",
+		"amoeba_$", "autoscale_$", "nameko_$")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.AmoebaCPURel, row.AutoscaleCPURel,
+			row.AmoebaQoSMet, row.AutoscaleQoSMet,
+			pct(row.AmoebaViolations), pct(row.AutoscaleViolations),
+			row.AmoebaCost, row.AutoscaleCost, row.NamekoCost)
+	}
+	return t
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestElasticityShape(t *testing.T) {
+	s := sharedSuite
+	r := Elasticity(s)
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range r.Rows {
+		if !row.AmoebaQoSMet {
+			t.Errorf("%s: Amoeba violated QoS", row.Benchmark)
+		}
+		// Both elastic systems beat static Nameko on CPU.
+		if row.AmoebaCPURel >= 1 || row.AutoscaleCPURel >= 1 {
+			t.Errorf("%s: elasticity saved nothing (amoeba %v, autoscale %v)",
+				row.Benchmark, row.AmoebaCPURel, row.AutoscaleCPURel)
+		}
+		// The autoscaler buys savings with strictly more QoS risk.
+		if row.AutoscaleViolations <= row.AmoebaViolations {
+			t.Errorf("%s: autoscaler violations %v not above Amoeba %v",
+				row.Benchmark, row.AutoscaleViolations, row.AmoebaViolations)
+		}
+		// And money follows the resource integrals.
+		if row.AmoebaCost >= row.NamekoCost {
+			t.Errorf("%s: Amoeba bill %v not below Nameko %v",
+				row.Benchmark, row.AmoebaCost, row.NamekoCost)
+		}
+	}
+	if r.Render().Rows() != len(r.Rows) {
+		t.Error("render row mismatch")
+	}
+}

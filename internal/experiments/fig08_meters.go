@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"amoeba/internal/core"
+	"amoeba/internal/meters"
+	"amoeba/internal/report"
+	"amoeba/internal/serverless"
+)
+
+// Fig08Result reproduces paper Fig. 8: the latency-vs-pressure profiling
+// curve of each contention meter.
+type Fig08Result struct {
+	Curves [3]*meters.Curve
+}
+
+// Fig08 runs the experiment (profiled curves are memoised process-wide).
+func Fig08(cfg Config) *Fig08Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Fig08Result{Curves: core.MeterCurves(serverless.DefaultConfig())}
+}
+
+// Render formats the curves as one figure with three series.
+func (r *Fig08Result) Render() *report.Figure {
+	f := &report.Figure{
+		Title:  "Fig. 8: contention meter profiling curves",
+		XLabel: "pressure on the meter's resource",
+		YLabel: "meter latency (s)",
+	}
+	for _, c := range r.Curves {
+		f.Series = append(f.Series, report.Series{
+			Name: c.Meter.Profile.Name,
+			X:    c.Pressures,
+			Y:    c.Latencies,
+		})
+	}
+	return f
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amoeba/internal/core"
+	"amoeba/internal/report"
+)
+
+// Fig10Entry is one (benchmark, system) latency distribution.
+type Fig10Entry struct {
+	Benchmark string
+	System    core.Variant
+	// CDF of latency normalised to the QoS target (Fig. 10's axes).
+	X, F []float64
+	// P95OverTarget < 1 means the QoS is met.
+	P95OverTarget float64
+	QoSMet        bool
+	Queries       int
+}
+
+// Fig10Result reproduces paper Fig. 10: the cumulative distribution of
+// each benchmark's latencies normalised to its QoS target under Amoeba,
+// Nameko (pure IaaS) and OpenWhisk (pure serverless).
+type Fig10Result struct {
+	Entries []Fig10Entry
+}
+
+var fig10Systems = []core.Variant{core.VariantAmoeba, core.VariantNameko, core.VariantOpenWhisk}
+
+// Fig10 runs the experiment on the given suite.
+func Fig10(s *Suite) *Fig10Result {
+	s.Prefetch(fig10Systems...)
+	res := &Fig10Result{}
+	for _, prof := range s.Cfg.benchmarks() {
+		for _, v := range fig10Systems {
+			sr := s.Service(prof, v)
+			xs, fs := sr.Collector.NormalizedCDF(40)
+			res.Entries = append(res.Entries, Fig10Entry{
+				Benchmark:     prof.Name,
+				System:        v,
+				X:             xs,
+				F:             fs,
+				P95OverTarget: sr.Collector.P95() / prof.QoSTarget,
+				QoSMet:        sr.Collector.QoSMet(),
+				Queries:       sr.Collector.Count(),
+			})
+		}
+	}
+	return res
+}
+
+// Render summarises the distributions as a table (the per-curve CDFs are
+// in the Entries for plotting).
+func (r *Fig10Result) Render() *report.Table {
+	t := report.NewTable("Fig. 10: p95 latency / QoS target (CDF summary; <1 meets QoS)",
+		"benchmark", "system", "p95/target", "qos_met", "queries", "shape")
+	for _, e := range r.Entries {
+		t.AddRow(e.Benchmark, e.System.String(),
+			fmt.Sprintf("%.2f", e.P95OverTarget), e.QoSMet, e.Queries,
+			report.Sparkline(e.F))
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"amoeba/internal/core"
+	"amoeba/internal/report"
+)
+
+// Fig11Row is one benchmark's resource usage under Amoeba normalised to
+// Nameko.
+type Fig11Row struct {
+	Benchmark    string
+	CPURel       float64 // Amoeba CPU-time / Nameko CPU-time
+	MemRel       float64
+	CPUSavedFrac float64 // 1 − CPURel, the paper's 29.1%–72.9%
+	MemSavedFrac float64 // 1 − MemRel, the paper's 30.2%–84.9%
+	QoSMet       bool
+}
+
+// Fig11Result reproduces paper Fig. 11: the normalised CPU and memory
+// usage of the benchmarks with Amoeba compared with Nameko.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 runs the experiment on the given suite (reusing Fig. 10's runs).
+func Fig11(s *Suite) *Fig11Result {
+	s.Prefetch(core.VariantAmoeba, core.VariantNameko)
+	res := &Fig11Result{}
+	for _, prof := range s.Cfg.benchmarks() {
+		am := s.Service(prof, core.VariantAmoeba)
+		nk := s.Service(prof, core.VariantNameko)
+		cpuRel := ratio(am.TotalUsage().CPU, nk.TotalUsage().CPU)
+		memRel := ratio(am.TotalUsage().MemMB, nk.TotalUsage().MemMB)
+		res.Rows = append(res.Rows, Fig11Row{
+			Benchmark:    prof.Name,
+			CPURel:       cpuRel,
+			MemRel:       memRel,
+			CPUSavedFrac: 1 - cpuRel,
+			MemSavedFrac: 1 - memRel,
+			QoSMet:       am.Collector.QoSMet(),
+		})
+	}
+	return res
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Render formats the result as a table.
+func (r *Fig11Result) Render() *report.Table {
+	t := report.NewTable("Fig. 11: Amoeba resource usage normalised to Nameko",
+		"benchmark", "cpu_rel", "mem_rel", "cpu_saved", "mem_saved", "qos_met")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.CPURel, row.MemRel,
+			pct(row.CPUSavedFrac), pct(row.MemSavedFrac), row.QoSMet)
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amoeba/internal/core"
+	"amoeba/internal/metrics"
+	"amoeba/internal/report"
+	"amoeba/internal/workload"
+)
+
+// TimelineResult carries one benchmark's Amoeba run timeline: the switch
+// events of Fig. 12 and the resource-usage snapshots of Fig. 13.
+type TimelineResult struct {
+	Benchmark string
+	Switches  []metrics.SwitchEvent
+	Snapshots []metrics.Snapshot
+	// ToServerless / ToIaaS count the transitions in each direction.
+	ToServerless, ToIaaS int
+}
+
+// Fig12Result reproduces paper Fig. 12: the deploy-mode switch timeline
+// of the two representative benchmarks (float and dd).
+type Fig12Result struct {
+	Timelines []TimelineResult
+}
+
+// fig12Benchmarks returns the paper's two representative services.
+func fig12Benchmarks() []workload.Profile {
+	return []workload.Profile{workload.Float(), workload.DD()}
+}
+
+// Fig12 runs the experiment on the suite.
+func Fig12(s *Suite) *Fig12Result {
+	res := &Fig12Result{}
+	for _, prof := range fig12Benchmarks() {
+		sr := s.Service(prof, core.VariantAmoeba)
+		res.Timelines = append(res.Timelines, TimelineResult{
+			Benchmark:    prof.Name,
+			Switches:     sr.Timeline.Switches,
+			Snapshots:    sr.Timeline.Snapshots,
+			ToServerless: sr.Timeline.SwitchCount(metrics.BackendServerless),
+			ToIaaS:       sr.Timeline.SwitchCount(metrics.BackendIaaS),
+		})
+	}
+	return res
+}
+
+// Render formats the switch events.
+func (r *Fig12Result) Render() *report.Table {
+	t := report.NewTable("Fig. 12: deploy-mode switch timeline",
+		"benchmark", "t_seconds", "switch_to", "load_qps")
+	for _, tl := range r.Timelines {
+		for _, sw := range tl.Switches {
+			t.AddRow(tl.Benchmark, fmt.Sprintf("%.0f", sw.At), sw.To.String(),
+				fmt.Sprintf("%.1f", sw.LoadQPS))
+		}
+	}
+	return t
+}
+
+// Fig13Result reproduces paper Fig. 13: the resource-usage timeline of
+// float and dd with Amoeba (instantaneous allocated CPU and memory).
+type Fig13Result struct {
+	Timelines []TimelineResult
+}
+
+// Fig13 runs the experiment on the suite (same runs as Fig. 12).
+func Fig13(s *Suite) *Fig13Result {
+	f12 := Fig12(s)
+	return &Fig13Result{Timelines: f12.Timelines}
+}
+
+// Render formats the usage timelines as figures (one per benchmark).
+func (r *Fig13Result) Render() []*report.Figure {
+	var out []*report.Figure
+	for _, tl := range r.Timelines {
+		f := &report.Figure{
+			Title:  fmt.Sprintf("Fig. 13: resource usage timeline of %s with Amoeba", tl.Benchmark),
+			XLabel: "time (s)",
+			YLabel: "allocated cores / load QPS / memory GB",
+		}
+		var ts, cpu, mem, load []float64
+		for _, sn := range tl.Snapshots {
+			ts = append(ts, sn.At)
+			cpu = append(cpu, sn.Alloc.CPU)
+			mem = append(mem, sn.Alloc.MemMB/1024)
+			load = append(load, sn.LoadQPS)
+		}
+		f.Series = append(f.Series,
+			report.Series{Name: "alloc_cpu_cores", X: ts, Y: cpu},
+			report.Series{Name: "alloc_mem_gb", X: ts, Y: mem},
+			report.Series{Name: "load_qps", X: ts, Y: load},
+		)
+		out = append(out, f)
+	}
+	return out
+}

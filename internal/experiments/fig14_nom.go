@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"amoeba/internal/core"
+	"amoeba/internal/report"
+)
+
+// Fig14Row compares Amoeba and Amoeba-NoM resource usage for one
+// benchmark, both normalised to Nameko.
+type Fig14Row struct {
+	Benchmark string
+	// CPU and memory usage relative to Nameko.
+	AmoebaCPU, NoMCPU float64
+	AmoebaMem, NoMMem float64
+	// Increase factors NoM/Amoeba (the paper quotes up to 1.77x CPU and
+	// 2.38x memory).
+	CPUIncrease, MemIncrease float64
+	BothMeetQoS              bool
+}
+
+// Fig14Result reproduces paper Fig. 14: disabling the PCA correction
+// (Amoeba-NoM) keeps the pessimistic additive weights w₀, which delays
+// the switch to serverless and raises resource usage.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 runs the experiment on the suite.
+func Fig14(s *Suite) *Fig14Result {
+	s.Prefetch(core.VariantAmoeba, core.VariantAmoebaNoM, core.VariantNameko)
+	res := &Fig14Result{}
+	for _, prof := range s.Cfg.benchmarks() {
+		am := s.Service(prof, core.VariantAmoeba)
+		nom := s.Service(prof, core.VariantAmoebaNoM)
+		nk := s.Service(prof, core.VariantNameko)
+		row := Fig14Row{
+			Benchmark:   prof.Name,
+			AmoebaCPU:   ratio(am.TotalUsage().CPU, nk.TotalUsage().CPU),
+			NoMCPU:      ratio(nom.TotalUsage().CPU, nk.TotalUsage().CPU),
+			AmoebaMem:   ratio(am.TotalUsage().MemMB, nk.TotalUsage().MemMB),
+			NoMMem:      ratio(nom.TotalUsage().MemMB, nk.TotalUsage().MemMB),
+			BothMeetQoS: am.Collector.QoSMet() && nom.Collector.QoSMet(),
+		}
+		row.CPUIncrease = ratio(row.NoMCPU, row.AmoebaCPU)
+		row.MemIncrease = ratio(row.NoMMem, row.AmoebaMem)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the result as a table.
+func (r *Fig14Result) Render() *report.Table {
+	t := report.NewTable("Fig. 14: Amoeba vs Amoeba-NoM usage (normalised to Nameko)",
+		"benchmark", "amoeba_cpu", "nom_cpu", "cpu_increase", "amoeba_mem", "nom_mem", "mem_increase", "qos_met")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.AmoebaCPU, row.NoMCPU, row.CPUIncrease,
+			row.AmoebaMem, row.NoMMem, row.MemIncrease, row.BothMeetQoS)
+	}
+	return t
+}

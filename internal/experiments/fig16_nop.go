@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"amoeba/internal/core"
+	"amoeba/internal/report"
+)
+
+// Fig16Row is one benchmark's QoS violation rate without prewarming.
+type Fig16Row struct {
+	Benchmark string
+	// ViolationFrac is the fraction of queries over the QoS target with
+	// Amoeba-NoP (paper: 29.9%–69.1%).
+	ViolationFrac float64
+	// AmoebaViolationFrac is the same with prewarming, for contrast.
+	AmoebaViolationFrac float64
+	Switches            int
+	// WorstWindowFrac is the violation rate of NoP's worst 60s window —
+	// the time-resolved view showing that cold-start damage concentrates
+	// right after switches.
+	WorstWindowFrac float64
+}
+
+// Fig16Result reproduces paper Fig. 16: disabling the container prewarm
+// module routes queries into cold starts at every switch to serverless,
+// violating the QoS of a large fraction of queries.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16 runs the experiment on the suite.
+func Fig16(s *Suite) *Fig16Result {
+	s.Prefetch(core.VariantAmoeba, core.VariantAmoebaNoP)
+	res := &Fig16Result{}
+	for _, prof := range s.Cfg.benchmarks() {
+		nop := s.Service(prof, core.VariantAmoebaNoP)
+		am := s.Service(prof, core.VariantAmoeba)
+		worst := 0.0
+		for _, w := range nop.ViolationWindows {
+			if w.Rate() > worst {
+				worst = w.Rate()
+			}
+		}
+		res.Rows = append(res.Rows, Fig16Row{
+			Benchmark:           prof.Name,
+			ViolationFrac:       nop.Collector.ViolationFraction(),
+			AmoebaViolationFrac: am.Collector.ViolationFraction(),
+			Switches:            len(nop.Timeline.Switches),
+			WorstWindowFrac:     worst,
+		})
+	}
+	return res
+}
+
+// Render formats the result as a table.
+func (r *Fig16Result) Render() *report.Table {
+	t := report.NewTable("Fig. 16: QoS violations with Amoeba-NoP (no prewarm)",
+		"benchmark", "nop_violations", "nop_worst_60s_window", "amoeba_violations", "switches")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, pct(row.ViolationFrac), pct(row.WorstWindowFrac),
+			pct(row.AmoebaViolationFrac), row.Switches)
+	}
+	return t
+}

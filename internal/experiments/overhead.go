@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"amoeba/internal/core"
+	"amoeba/internal/meters"
+	"amoeba/internal/report"
+	"amoeba/internal/serverless"
+	"amoeba/internal/workload"
+)
+
+// OverheadRow is one meter's CPU overhead.
+type OverheadRow struct {
+	Meter string
+	// AnalyticFrac is demand × exec × QPS over the node's cores — the
+	// per-meter overhead at 1 QPS (the paper reports 1.1% / 0.5% / 0.6%).
+	AnalyticFrac float64
+}
+
+// OverheadResult reproduces §VII-E: the CPU overhead of running the
+// contention meters on the serverless platform at 1 QPS each, plus the
+// measured total from a full Amoeba run.
+type OverheadResult struct {
+	Rows []OverheadRow
+	// MeasuredTotalFrac is the meters' measured CPU over the run's
+	// duration × node cores from a real Amoeba run.
+	MeasuredTotalFrac float64
+}
+
+// Overhead runs the experiment on the suite.
+func Overhead(s *Suite) *OverheadResult {
+	res := &OverheadResult{}
+	cores := serverless.DefaultConfig().Node.Capacity().CPU
+	for _, m := range meters.All() {
+		res.Rows = append(res.Rows, OverheadRow{
+			Meter:        m.Profile.Name,
+			AnalyticFrac: m.Profile.Demand.CPU * m.Profile.ExecTime * 1.0 / cores,
+		})
+	}
+	run := s.Run(workload.Float(), core.VariantAmoeba)
+	res.MeasuredTotalFrac = run.MeterCPUSeconds / (run.Duration * cores)
+	return res
+}
+
+// Render formats the result as a table.
+func (r *OverheadResult) Render() *report.Table {
+	t := report.NewTable("§VII-E: contention meter CPU overhead at 1 QPS",
+		"meter", "overhead")
+	for _, row := range r.Rows {
+		t.AddRow(row.Meter, pct(row.AnalyticFrac))
+	}
+	t.AddRow("measured total (full run)", pct(r.MeasuredTotalFrac))
+	return t
+}

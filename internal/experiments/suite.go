@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"amoeba/internal/core"
+	"amoeba/internal/workload"
+)
+
+// Suite memoises full scenario runs per (benchmark, variant) so the
+// figures that share runs (Fig. 10/11 share Amoeba+Nameko+OpenWhisk;
+// Fig. 12/13 reuse the Amoeba runs; Fig. 14 adds Amoeba-NoM) do not
+// re-simulate.
+type Suite struct {
+	Cfg Config
+
+	mu   sync.Mutex
+	runs map[string]*core.Result
+}
+
+// NewSuite creates an empty suite.
+func NewSuite(cfg Config) *Suite {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Suite{Cfg: cfg, runs: make(map[string]*core.Result)}
+}
+
+// Run returns the (memoised) result of one benchmark under one variant.
+func (s *Suite) Run(prof workload.Profile, v core.Variant) *core.Result {
+	key := fmt.Sprintf("%s|%d", prof.Name, v)
+	s.mu.Lock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	// Profiles are memoised globally; the run itself is sequential and
+	// deterministic. Build outside the lock so concurrent callers can
+	// work on different keys.
+	r := core.Run(s.Cfg.scenario(prof, v))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.runs[key]; ok {
+		return prev
+	}
+	s.runs[key] = r
+	return r
+}
+
+// Service extracts the benchmark's own result from a run.
+func (s *Suite) Service(prof workload.Profile, v core.Variant) *core.ServiceResult {
+	return s.Run(prof, v).Services[prof.Name]
+}
+
+// Prefetch runs the given variants for every benchmark concurrently, one
+// goroutine per (benchmark, variant) — simulations are independent.
+func (s *Suite) Prefetch(variants ...core.Variant) {
+	var wg sync.WaitGroup
+	for _, prof := range s.Cfg.benchmarks() {
+		for _, v := range variants {
+			prof, v := prof, v
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Run(prof, v)
+			}()
+		}
+	}
+	wg.Wait()
+}

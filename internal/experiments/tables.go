@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amoeba/internal/cluster"
+	"amoeba/internal/report"
+	"amoeba/internal/workload"
+)
+
+// TableII renders the hardware/software setup (paper Table II).
+func TableII() *report.Table {
+	n := cluster.DefaultNode("node")
+	t := report.NewTable("Table II: hardware and software setup", "item", "configuration")
+	t.AddRow("CPU", "Intel Xeon Platinum 8163 @ 2.50GHz (simulated)")
+	t.AddRow("Cores", n.Cores)
+	t.AddRow("DRAM", formatGB(n.MemMB))
+	t.AddRow("Disk", formatMBs(n.DiskMBps)+" NVMe SSD (simulated)")
+	t.AddRow("NIC", formatMbs(n.NetMbps))
+	t.AddRow("IaaS deployment", "VM + Nameko (simulated, internal/iaas)")
+	t.AddRow("Serverless deployment", "OpenWhisk (simulated, internal/serverless)")
+	t.AddRow("Container memory", formatMB(float64(workload.ContainerMemMB)))
+	return t
+}
+
+// TableIII renders the benchmark sensitivity matrix (paper Table III).
+func TableIII() *report.Table {
+	t := report.NewTable("Table III: benchmark load sensitivities",
+		"name", "cpu", "memory", "disk_io", "network", "exec_s", "qos_s", "peak_qps")
+	for _, p := range workload.All() {
+		t.AddRow(p.Name,
+			level(p.Sensitivity.CPU), level(p.MemSensitivity),
+			level(p.Sensitivity.IO), level(p.Sensitivity.Net),
+			p.ExecTime, p.QoSTarget, p.PeakQPS)
+	}
+	return t
+}
+
+// level maps a numeric sensitivity onto the paper's high/medium/low/"-".
+func level(s float64) string {
+	switch {
+	case s >= 0.7:
+		return "high"
+	case s >= 0.3:
+		return "medium"
+	case s > 0.05:
+		return "low"
+	default:
+		return "-"
+	}
+}
+
+func formatGB(mb float64) string { return fmt.Sprintf("%gGB", mb/1024) }
+func formatMB(mb float64) string { return fmt.Sprintf("%gMB", mb) }
+func formatMBs(v float64) string { return fmt.Sprintf("%gMB/s", v) }
+func formatMbs(v float64) string { return fmt.Sprintf("%gMb/s", v) }

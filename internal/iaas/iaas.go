@@ -1,0 +1,367 @@
+// Package iaas simulates the traditional IaaS-based deployment (the
+// paper's Nameko-on-VMs setup, §II-B): each microservice owns a group of
+// long-running virtual machines sized "just enough" for its peak load
+// under the QoS target. The rented resources are allocated for the whole
+// VM lifetime whether queries arrive or not — which is precisely the
+// waste Fig. 2 quantifies — but queries see no cold start and no
+// cross-tenant contention.
+//
+// Processing model: a service with k total worker cores behaves as an
+// FCFS M/G/k system — one query per worker at a time, a shared queue.
+package iaas
+
+import (
+	"fmt"
+	"math"
+
+	"amoeba/internal/cluster"
+	"amoeba/internal/metrics"
+	"amoeba/internal/queueing"
+	"amoeba/internal/resources"
+	"amoeba/internal/sim"
+	"amoeba/internal/workload"
+)
+
+// Config tunes the platform.
+type Config struct {
+	Node cluster.Node
+
+	// BootDelay is the VM boot time paid before a switched-in service can
+	// take traffic (§V-B's engine boots VMs before routing).
+	BootDelay float64
+
+	// RPCOverhead is the constant per-query cost of the Nameko RPC path.
+	RPCOverhead float64
+
+	// QoSQuantile is the latency quantile provisioning targets (0.95).
+	QoSQuantile float64
+
+	// Headroom multiplies the provisioned core count for safety margin.
+	Headroom float64
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Node:        cluster.DefaultNode("iaas"),
+		BootDelay:   30,
+		RPCOverhead: 0.004,
+		QoSQuantile: 0.95,
+		Headroom:    1.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if c.BootDelay < 0 || c.RPCOverhead < 0 {
+		return fmt.Errorf("iaas: negative delay in config")
+	}
+	if c.QoSQuantile <= 0 || c.QoSQuantile >= 1 {
+		return fmt.Errorf("iaas: QoS quantile %v out of (0,1)", c.QoSQuantile)
+	}
+	if c.Headroom < 1 {
+		return fmt.Errorf("iaas: headroom %v below 1", c.Headroom)
+	}
+	return nil
+}
+
+type service struct {
+	profile    workload.Profile
+	vms        int // VM count in the group
+	slots      int // total worker slots (vms × VMCores)
+	busy       int
+	queue      []sim.Time // arrival times of waiting queries
+	running    bool       // VMs up and taking traffic
+	inflight   int
+	usage      *resources.Usage // allocated (rented) resources
+	busyUsage  *resources.Usage // consumed CPU: demand of executing queries
+	onComplete func(metrics.QueryRecord)
+}
+
+// Platform hosts per-service VM groups.
+type Platform struct {
+	sim      *sim.Simulator
+	cfg      Config
+	rng      *sim.RNG
+	services map[string]*service
+}
+
+// New creates an IaaS platform on the simulator.
+func New(s *sim.Simulator, cfg Config) *Platform {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Platform{
+		sim:      s,
+		cfg:      cfg,
+		rng:      s.RNG().Split(),
+		services: make(map[string]*service),
+	}
+}
+
+// ProvisionSlots returns the "just-enough" worker count for a profile: the
+// minimum slots keeping the QoS-quantile response of an M/M/k at peak
+// load within target, then headroom.
+func ProvisionSlots(profile workload.Profile, quantile, headroom float64) int {
+	mu := 1 / (profile.ExecTime + profile.Overheads.Processing) // worker service rate
+	slots := queueing.MinContainers(profile.PeakQPS, mu, profile.QoSTarget, quantile, 100000)
+	slots = int(math.Ceil(float64(slots) * headroom))
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// Deploy provisions a VM group for the profile sized for its peak load and
+// starts it immediately (no boot delay at initial deployment: the paper's
+// maintainers stand services up before taking traffic). onComplete
+// receives every finished query (may be nil).
+func (p *Platform) Deploy(profile workload.Profile, onComplete func(metrics.QueryRecord)) {
+	slots := ProvisionSlots(profile, p.cfg.QoSQuantile, p.cfg.Headroom)
+	vms := (slots + profile.VMCores - 1) / profile.VMCores
+	p.DeployWithVMs(profile, vms, onComplete)
+}
+
+// DeployWithVMs provisions an explicit VM count (autoscaling baselines
+// start small and let their controller grow the group).
+func (p *Platform) DeployWithVMs(profile workload.Profile, vms int, onComplete func(metrics.QueryRecord)) {
+	if err := profile.Validate(); err != nil {
+		panic(err)
+	}
+	if vms < 1 {
+		panic(fmt.Sprintf("iaas: deploying %q with %d VMs", profile.Name, vms))
+	}
+	if _, dup := p.services[profile.Name]; dup {
+		panic(fmt.Sprintf("iaas: duplicate service %q", profile.Name))
+	}
+	svc := &service{
+		profile:    profile,
+		vms:        vms,
+		slots:      vms * profile.VMCores,
+		usage:      resources.NewUsage(float64(p.sim.Now())),
+		busyUsage:  resources.NewUsage(float64(p.sim.Now())),
+		onComplete: onComplete,
+	}
+	p.services[profile.Name] = svc
+	p.allocate(svc)
+	svc.running = true
+}
+
+func (p *Platform) allocate(svc *service) {
+	svc.usage.Record(float64(p.sim.Now()), p.groupAlloc(svc))
+}
+
+func (p *Platform) groupAlloc(svc *service) resources.Vector {
+	return resources.Vector{
+		CPU:   float64(svc.vms * svc.profile.VMCores),
+		MemMB: float64(svc.vms) * svc.profile.VMMemMB,
+	}
+}
+
+func (p *Platform) mustSvc(name string) *service {
+	svc, ok := p.services[name]
+	if !ok {
+		panic(fmt.Sprintf("iaas: unknown service %q", name))
+	}
+	return svc
+}
+
+// Invoke submits one query to the named service. Invoking a stopped
+// service panics: the execution engine must only route to a running
+// backend.
+func (p *Platform) Invoke(name string) {
+	svc := p.mustSvc(name)
+	if !svc.running {
+		panic(fmt.Sprintf("iaas: invoke on stopped service %q", name))
+	}
+	svc.inflight++
+	now := p.sim.Now()
+	if svc.busy < svc.slots {
+		p.startQuery(svc, now)
+	} else {
+		svc.queue = append(svc.queue, now)
+	}
+}
+
+func (p *Platform) startQuery(svc *service, arrived sim.Time) {
+	svc.busy++
+	prof := svc.profile
+	mu, sigma := lognormalParams(prof.ExecTime, prof.ExecCV)
+	body := p.rng.LogNormal(mu, sigma)
+	bd := metrics.Breakdown{
+		Queue:      float64(p.sim.Now() - arrived),
+		Processing: p.cfg.RPCOverhead,
+		Exec:       body,
+	}
+	consumed := resources.Vector{CPU: prof.Demand.CPU}
+	svc.busyUsage.Adjust(float64(p.sim.Now()), consumed)
+	p.sim.After(bd.Processing+bd.Exec, func() {
+		svc.busy--
+		svc.inflight--
+		svc.busyUsage.Adjust(float64(p.sim.Now()), consumed.Scale(-1))
+		if svc.onComplete != nil {
+			svc.onComplete(metrics.QueryRecord{
+				Service:   prof.Name,
+				Backend:   metrics.BackendIaaS,
+				ArrivedAt: float64(arrived),
+				Breakdown: bd,
+			})
+		}
+		// After a scale-in, busy can exceed slots until the excess
+		// drains; only then does the queue resume.
+		if len(svc.queue) > 0 && svc.busy < svc.slots {
+			next := svc.queue[0]
+			svc.queue = svc.queue[1:]
+			p.startQuery(svc, next)
+		}
+	})
+}
+
+// Scale resizes a running service's VM group to the given count (an
+// elastic-IaaS primitive for autoscaling baselines). Scale-out allocates
+// the new VMs immediately — booting VMs hold their reservation — and
+// brings their worker slots online after BootDelay; onReady fires then.
+// Scale-in takes effect immediately: the allocation and slot count drop,
+// and queries already running on removed workers finish undisturbed.
+func (p *Platform) Scale(name string, vms int, onReady func()) {
+	svc := p.mustSvc(name)
+	if vms < 1 {
+		panic(fmt.Sprintf("iaas: scaling %q to %d VMs", name, vms))
+	}
+	if !svc.running {
+		panic(fmt.Sprintf("iaas: scaling stopped service %q", name))
+	}
+	prev := svc.vms
+	svc.vms = vms
+	p.allocate(svc)
+	if vms > prev {
+		p.sim.After(p.cfg.BootDelay, func() {
+			svc.slots = svc.vms * svc.profile.VMCores
+			// Newly online workers drain any backlog.
+			for len(svc.queue) > 0 && svc.busy < svc.slots {
+				next := svc.queue[0]
+				svc.queue = svc.queue[1:]
+				p.startQuery(svc, next)
+			}
+			if onReady != nil {
+				onReady()
+			}
+		})
+		return
+	}
+	svc.slots = svc.vms * svc.profile.VMCores
+	if onReady != nil {
+		p.sim.After(0, onReady)
+	}
+}
+
+// Stop releases the service's VMs once in-flight queries drain. New
+// queries must not be routed here afterwards. onStopped fires when the
+// resources are actually released.
+func (p *Platform) Stop(name string, onStopped func()) {
+	svc := p.mustSvc(name)
+	if !svc.running {
+		if onStopped != nil {
+			p.sim.After(0, onStopped)
+		}
+		return
+	}
+	svc.running = false
+	var drain func()
+	drain = func() {
+		if svc.inflight == 0 {
+			svc.usage.Record(float64(p.sim.Now()), resources.Vector{})
+			if onStopped != nil {
+				onStopped()
+			}
+			return
+		}
+		p.sim.After(0.5, drain)
+	}
+	drain()
+}
+
+// Start boots the service's VM group; queries may be routed after
+// onReady fires (BootDelay later). Starting a running service is a no-op
+// that still reports readiness.
+func (p *Platform) Start(name string, onReady func()) {
+	svc := p.mustSvc(name)
+	if svc.running {
+		if onReady != nil {
+			p.sim.After(0, onReady)
+		}
+		return
+	}
+	// Resources are allocated from boot, not from readiness: booting VMs
+	// already occupy their reservation.
+	p.allocate(svc)
+	p.sim.After(p.cfg.BootDelay, func() {
+		svc.running = true
+		if onReady != nil {
+			onReady()
+		}
+	})
+}
+
+// Running reports whether the service can take traffic.
+func (p *Platform) Running(name string) bool { return p.mustSvc(name).running }
+
+// Slots returns the service's provisioned worker count.
+func (p *Platform) Slots(name string) int { return p.mustSvc(name).slots }
+
+// VMs returns the service's VM count.
+func (p *Platform) VMs(name string) int { return p.mustSvc(name).vms }
+
+// Busy returns the number of occupied workers.
+func (p *Platform) Busy(name string) int { return p.mustSvc(name).busy }
+
+// QueueLength returns the waiting queries of the service.
+func (p *Platform) QueueLength(name string) int { return len(p.mustSvc(name).queue) }
+
+// Inflight returns submitted-but-incomplete queries of the service.
+func (p *Platform) Inflight(name string) int { return p.mustSvc(name).inflight }
+
+// Utilization returns busy/slots right now.
+func (p *Platform) Utilization(name string) float64 {
+	svc := p.mustSvc(name)
+	if svc.slots == 0 {
+		return 0
+	}
+	return float64(svc.busy) / float64(svc.slots)
+}
+
+// UsageFor returns the service's accumulated allocated resource-time: the
+// rented cores and memory integrated over the time its VMs were up.
+func (p *Platform) UsageFor(name string) resources.Vector {
+	return p.mustSvc(name).usage.TotalAt(float64(p.sim.Now()))
+}
+
+// ConsumedCPUSeconds returns the core-seconds actually burned by executing
+// queries — the numerator of Fig. 2's CPU utilisation.
+func (p *Platform) ConsumedCPUSeconds(name string) float64 {
+	return p.mustSvc(name).busyUsage.TotalAt(float64(p.sim.Now())).CPU
+}
+
+// InstantConsumedCPU returns the cores being burned right now.
+func (p *Platform) InstantConsumedCPU(name string) float64 {
+	return p.mustSvc(name).busyUsage.Current().CPU
+}
+
+// AllocFor returns the service's instantaneous allocation.
+func (p *Platform) AllocFor(name string) resources.Vector {
+	return p.mustSvc(name).usage.Current()
+}
+
+func lognormalParams(mean, cv float64) (muLN, sigma float64) {
+	if mean <= 0 {
+		panic(fmt.Sprintf("iaas: non-positive lognormal mean %v", mean))
+	}
+	if cv <= 0 {
+		return math.Log(mean), 0
+	}
+	s2 := math.Log(1 + cv*cv)
+	return math.Log(mean) - s2/2, math.Sqrt(s2)
+}

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi rotation method. Results are sorted by
+// descending eigenvalue; column k of the returned matrix is the
+// eigenvector for values[k]. The input is not modified.
+//
+// Jacobi is quadratically convergent and unconditionally stable for the
+// tiny symmetric (covariance) matrices the contention monitor builds, so a
+// full QR implementation would be unwarranted complexity.
+func EigenSym(m *Matrix) (values []float64, vectors *Matrix) {
+	if m.Rows != m.Cols {
+		panic("linalg: EigenSym on non-square matrix")
+	}
+	if !m.IsSymmetric(1e-9 * (1 + maxAbs(m))) {
+		panic("linalg: EigenSym on non-symmetric matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < 1e-24*(1+maxAbs(a)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation G(p, q, theta) on both sides of a.
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{a.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for k, p := range pairs {
+		values[k] = p.val
+		for r := 0; r < n; r++ {
+			vectors.Set(r, k, v.At(r, p.col))
+		}
+	}
+	return values, vectors
+}
+
+func maxAbs(m *Matrix) float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// SolveLeastSquares returns x minimising ||A x - b||² via the normal
+// equations with a small ridge term for numerical safety. A has one row
+// per sample; b has one entry per sample.
+func SolveLeastSquares(a *Matrix, b []float64) []float64 {
+	if a.Rows != len(b) {
+		panic("linalg: SolveLeastSquares shape mismatch")
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	// Ridge regularisation keeps the system solvable when columns are
+	// collinear (exactly the situation PCA exists to handle).
+	ridge := 1e-9 * (1 + maxAbs(ata))
+	for i := 0; i < ata.Rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+ridge)
+	}
+	atb := at.MulVec(b)
+	return SolveSPD(ata, atb)
+}
+
+// SolveSPD solves A x = b for a symmetric positive-definite A via Cholesky
+// decomposition.
+func SolveSPD(a *Matrix, b []float64) []float64 {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: SolveSPD shape mismatch")
+	}
+	// Cholesky: A = L L^T.
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					panic("linalg: SolveSPD on non-positive-definite matrix")
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	// Forward substitution L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,271 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At returned wrong elements")
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set did not stick")
+	}
+	tr := m.T()
+	if tr.At(1, 0) != 2 || tr.At(0, 1) != 3 {
+		t.Fatal("transpose wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestCenterColumns(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 20}, {5, 30}})
+	means := m.CenterColumns()
+	if means[0] != 3 || means[1] != 20 {
+		t.Fatalf("means = %v", means)
+	}
+	after := m.ColumnMeans()
+	for j, v := range after {
+		if !almostEq(v, 0, 1e-12) {
+			t.Fatalf("column %d mean %v after centering", j, v)
+		}
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly correlated columns: cov = var on the diagonal, same off.
+	m := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov := Covariance(m)
+	if !almostEq(cov.At(0, 0), 1, 1e-12) {
+		t.Errorf("var(x) = %v, want 1", cov.At(0, 0))
+	}
+	if !almostEq(cov.At(1, 1), 4, 1e-12) {
+		t.Errorf("var(y) = %v, want 4", cov.At(1, 1))
+	}
+	if !almostEq(cov.At(0, 1), 2, 1e-12) {
+		t.Errorf("cov(x,y) = %v, want 2", cov.At(0, 1))
+	}
+	if !cov.IsSymmetric(0) {
+		t.Error("covariance not symmetric")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs := EigenSym(m)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEq(vals[i], w, 1e-9) {
+			t.Fatalf("eigenvalue %d = %v, want %v", i, vals[i], w)
+		}
+	}
+	// Eigenvector for value 3 must be ±e0.
+	if !almostEq(math.Abs(vecs.At(0, 0)), 1, 1e-9) {
+		t.Fatalf("leading eigenvector = [%v %v %v]", vecs.At(0, 0), vecs.At(1, 0), vecs.At(2, 0))
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigenSym(m)
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Leading eigenvector proportional to (1,1)/sqrt2.
+	r := vecs.At(0, 0) / vecs.At(1, 0)
+	if !almostEq(r, 1, 1e-8) {
+		t.Fatalf("leading eigenvector ratio = %v, want 1", r)
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	// A v_k = lambda_k v_k for a random-ish symmetric matrix.
+	m := FromRows([][]float64{
+		{4, 1, 0.5, -0.2},
+		{1, 3, 0.7, 0.1},
+		{0.5, 0.7, 2, 0.3},
+		{-0.2, 0.1, 0.3, 1},
+	})
+	vals, vecs := EigenSym(m)
+	for k := 0; k < 4; k++ {
+		v := make([]float64, 4)
+		for r := 0; r < 4; r++ {
+			v[r] = vecs.At(r, k)
+		}
+		av := m.MulVec(v)
+		for r := 0; r < 4; r++ {
+			if !almostEq(av[r], vals[k]*v[r], 1e-8) {
+				t.Fatalf("A v != lambda v at k=%d r=%d: %v vs %v", k, r, av[r], vals[k]*v[r])
+			}
+		}
+	}
+	// Eigenvalues sorted descending, trace preserved.
+	trace := 4.0 + 3 + 2 + 1
+	sum := 0.0
+	for i, v := range vals {
+		sum += v
+		if i > 0 && v > vals[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+	if !almostEq(sum, trace, 1e-8) {
+		t.Fatalf("trace not preserved: %v vs %v", sum, trace)
+	}
+}
+
+func TestEigenSymOrthonormalVectors(t *testing.T) {
+	m := FromRows([][]float64{{5, 2, 1}, {2, 4, 0.5}, {1, 0.5, 3}})
+	_, vecs := EigenSym(m)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			dot := 0.0
+			for r := 0; r < 3; r++ {
+				dot += vecs.At(r, i) * vecs.At(r, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(dot, want, 1e-8) {
+				t.Fatalf("v%d . v%d = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestEigenSymNonSymmetricPanics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	defer func() {
+		if recover() == nil {
+			t.Error("non-symmetric EigenSym did not panic")
+		}
+	}()
+	EigenSym(m)
+}
+
+func TestEigenSymPropertyPSD(t *testing.T) {
+	// Covariance matrices are PSD: all eigenvalues >= 0 (within tolerance).
+	f := func(raw [][3]uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		rows := make([][]float64, len(raw))
+		for i, r := range raw {
+			rows[i] = []float64{float64(r[0]), float64(r[1]) * 0.5, float64(r[2]) * 2}
+		}
+		cov := Covariance(FromRows(rows))
+		vals, _ := EigenSym(cov)
+		for _, v := range vals {
+			if v < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	x := SolveSPD(a, []float64{10, 8})
+	// Verify A x = b.
+	b := a.MulVec(x)
+	if !almostEq(b[0], 10, 1e-10) || !almostEq(b[1], 8, 1e-10) {
+		t.Fatalf("SolveSPD residual: %v", b)
+	}
+}
+
+func TestSolveSPDNotPDPanics(t *testing.T) {
+	a := FromRows([][]float64{{0, 0}, {0, 0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("SolveSPD on singular matrix did not panic")
+		}
+	}()
+	SolveSPD(a, []float64{1, 1})
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 x1 + 3 x2, exactly determined.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	b := []float64{2, 3, 5, 7}
+	x := SolveLeastSquares(a, b)
+	if !almostEq(x[0], 2, 1e-6) || !almostEq(x[1], 3, 1e-6) {
+		t.Fatalf("least squares = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy y = 1.5 x; slope recovered within noise scale.
+	rows := make([][]float64, 50)
+	b := make([]float64, 50)
+	for i := range rows {
+		x := float64(i)
+		rows[i] = []float64{x}
+		noise := 0.1 * math.Sin(float64(i)*12.9898)
+		b[i] = 1.5*x + noise
+	}
+	sol := SolveLeastSquares(FromRows(rows), b)
+	if !almostEq(sol[0], 1.5, 0.01) {
+		t.Fatalf("slope = %v, want ~1.5", sol[0])
+	}
+}
+
+func TestLeastSquaresCollinearColumns(t *testing.T) {
+	// Two identical columns: ridge keeps this solvable and the fit exact.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	x := SolveLeastSquares(a, b)
+	pred := a.MulVec(x)
+	for i := range b {
+		if !almostEq(pred[i], b[i], 1e-3) {
+			t.Fatalf("collinear fit prediction %v, want %v", pred, b)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func rec(service string, b Backend, bd Breakdown) QueryRecord {
+	return QueryRecord{Service: service, Backend: b, Breakdown: bd}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Queue: 1, ColdStart: 2, Processing: 3, CodeLoad: 4, Exec: 5, Post: 6}
+	if b.Total() != 21 {
+		t.Errorf("Total = %v, want 21", b.Total())
+	}
+}
+
+func TestCollectorQoSAccounting(t *testing.T) {
+	c := NewCollector("svc", 1.0)
+	// 19 fast queries, 1 slow: p95 sits right at the boundary region.
+	for i := 0; i < 19; i++ {
+		c.Observe(rec("svc", BackendIaaS, Breakdown{Exec: 0.5}))
+	}
+	c.Observe(rec("svc", BackendServerless, Breakdown{Exec: 2.0}))
+	if c.Count() != 20 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	if got := c.ViolationFraction(); got != 0.05 {
+		t.Errorf("ViolationFraction = %v, want 0.05", got)
+	}
+	if c.BackendCount(BackendIaaS) != 19 || c.BackendCount(BackendServerless) != 1 {
+		t.Error("backend counts wrong")
+	}
+}
+
+func TestCollectorQoSMet(t *testing.T) {
+	c := NewCollector("svc", 1.0)
+	for i := 0; i < 100; i++ {
+		c.Observe(rec("svc", BackendIaaS, Breakdown{Exec: 0.9}))
+	}
+	if !c.QoSMet() {
+		t.Error("QoS should be met with all queries at 0.9")
+	}
+	for i := 0; i < 20; i++ { // 1/6 of queries slow: p95 now above target
+		c.Observe(rec("svc", BackendIaaS, Breakdown{Exec: 3}))
+	}
+	if c.QoSMet() {
+		t.Errorf("QoS met with p95 = %v", c.P95())
+	}
+}
+
+func TestCollectorMeanBreakdown(t *testing.T) {
+	c := NewCollector("svc", 1.0)
+	c.Observe(rec("svc", BackendServerless, Breakdown{Processing: 0.1, Exec: 0.4, Post: 0.1}))
+	c.Observe(rec("svc", BackendServerless, Breakdown{Processing: 0.3, Exec: 0.6, Post: 0.1}))
+	mb := c.MeanBreakdown()
+	if math.Abs(mb.Processing-0.2) > 1e-12 || math.Abs(mb.Exec-0.5) > 1e-12 {
+		t.Errorf("MeanBreakdown = %+v", mb)
+	}
+}
+
+func TestCollectorNormalizedCDF(t *testing.T) {
+	c := NewCollector("svc", 2.0)
+	for i := 1; i <= 100; i++ {
+		c.Observe(rec("svc", BackendIaaS, Breakdown{Exec: float64(i) * 0.02}))
+	}
+	xs, fs := c.NormalizedCDF(10)
+	if len(xs) != 10 {
+		t.Fatalf("CDF length %d", len(xs))
+	}
+	// Latencies span 0.02..2.0 → normalized 0.01..1.0.
+	if xs[len(xs)-1] > 1.001 {
+		t.Errorf("max normalized latency %v, want <= 1", xs[len(xs)-1])
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Errorf("CDF endpoint %v", fs[len(fs)-1])
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector("svc", 1.0)
+	if c.ViolationFraction() != 0 {
+		t.Error("violation fraction of empty collector not 0")
+	}
+	if mb := c.MeanBreakdown(); mb != (Breakdown{}) {
+		t.Error("mean breakdown of empty collector not zero")
+	}
+}
+
+func TestCollectorInvalidTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero QoS target did not panic")
+		}
+	}()
+	NewCollector("svc", 0)
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.RecordSwitch(10, BackendServerless, 5)
+	tl.RecordSwitch(100, BackendIaaS, 80)
+	tl.RecordSwitch(200, BackendServerless, 6)
+	if tl.SwitchCount(BackendServerless) != 2 || tl.SwitchCount(BackendIaaS) != 1 {
+		t.Error("switch counts wrong")
+	}
+	tl.RecordSnapshot(Snapshot{At: 50, Mode: BackendServerless, LoadQPS: 7})
+	if len(tl.Snapshots) != 1 || tl.Snapshots[0].LoadQPS != 7 {
+		t.Error("snapshot not recorded")
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if BackendIaaS.String() != "iaas" || BackendServerless.String() != "serverless" {
+		t.Error("backend names wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import "fmt"
+
+// WindowedViolations tracks the QoS-violation rate over fixed time
+// windows — the time-resolved view behind Fig. 16's aggregate: it shows
+// *when* violations happen (cold-start storms right after a switch)
+// rather than only how many.
+type WindowedViolations struct {
+	window  float64
+	target  float64
+	current windowAccum
+	closed  []ViolationWindow
+}
+
+type windowAccum struct {
+	start      float64
+	queries    int
+	violations int
+}
+
+// ViolationWindow is one closed window's tally.
+type ViolationWindow struct {
+	Start      float64
+	Queries    int
+	Violations int
+}
+
+// Rate returns the window's violation fraction (0 for an empty window).
+func (w ViolationWindow) Rate() float64 {
+	if w.Queries == 0 {
+		return 0
+	}
+	return float64(w.Violations) / float64(w.Queries)
+}
+
+// NewWindowedViolations creates a tracker with the given window length
+// (seconds) and QoS target (seconds).
+func NewWindowedViolations(window, target float64) *WindowedViolations {
+	if window <= 0 || target <= 0 {
+		panic(fmt.Sprintf("metrics: invalid windowed tracker (window %v, target %v)", window, target))
+	}
+	return &WindowedViolations{window: window, target: target}
+}
+
+// Observe records one completed query at virtual time now.
+func (t *WindowedViolations) Observe(now float64, r QueryRecord) {
+	t.advance(now)
+	t.current.queries++
+	if r.Latency() > t.target {
+		t.current.violations++
+	}
+}
+
+// advance closes windows up to (not including) the one containing now.
+func (t *WindowedViolations) advance(now float64) {
+	for now >= t.current.start+t.window {
+		t.closed = append(t.closed, ViolationWindow{
+			Start:      t.current.start,
+			Queries:    t.current.queries,
+			Violations: t.current.violations,
+		})
+		t.current = windowAccum{start: t.current.start + t.window}
+	}
+}
+
+// Windows finalises up to time now and returns all closed windows.
+func (t *WindowedViolations) Windows(now float64) []ViolationWindow {
+	t.advance(now)
+	out := make([]ViolationWindow, len(t.closed))
+	copy(out, t.closed)
+	return out
+}
+
+// WorstWindow returns the closed window with the highest violation rate
+// (zero value if none closed yet).
+func (t *WindowedViolations) WorstWindow(now float64) ViolationWindow {
+	var worst ViolationWindow
+	for _, w := range t.Windows(now) {
+		if w.Rate() > worst.Rate() {
+			worst = w
+		}
+	}
+	return worst
+}

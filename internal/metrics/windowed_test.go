@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowedViolationsBuckets(t *testing.T) {
+	w := NewWindowedViolations(10, 1.0)
+	// Window [0,10): 3 fast, 1 slow.
+	for i := 0; i < 3; i++ {
+		w.Observe(2, rec("s", BackendServerless, Breakdown{Exec: 0.5}))
+	}
+	w.Observe(5, rec("s", BackendServerless, Breakdown{Exec: 2.0}))
+	// Window [10,20): all slow.
+	for i := 0; i < 2; i++ {
+		w.Observe(15, rec("s", BackendServerless, Breakdown{Exec: 3.0}))
+	}
+	ws := w.Windows(25)
+	if len(ws) != 2 {
+		t.Fatalf("%d windows, want 2", len(ws))
+	}
+	if ws[0].Queries != 4 || ws[0].Violations != 1 {
+		t.Errorf("window 0 = %+v", ws[0])
+	}
+	if math.Abs(ws[0].Rate()-0.25) > 1e-12 {
+		t.Errorf("window 0 rate %v", ws[0].Rate())
+	}
+	if ws[1].Rate() != 1.0 {
+		t.Errorf("window 1 rate %v", ws[1].Rate())
+	}
+	worst := w.WorstWindow(25)
+	if worst.Start != 10 {
+		t.Errorf("worst window starts at %v, want 10", worst.Start)
+	}
+}
+
+func TestWindowedViolationsEmptyGaps(t *testing.T) {
+	w := NewWindowedViolations(5, 1.0)
+	w.Observe(1, rec("s", BackendIaaS, Breakdown{Exec: 0.1}))
+	w.Observe(22, rec("s", BackendIaaS, Breakdown{Exec: 0.1}))
+	ws := w.Windows(30)
+	if len(ws) != 6 { // [0,5) .. [25,30)
+		t.Fatalf("%d windows, want 6", len(ws))
+	}
+	total := 0
+	for _, win := range ws {
+		total += win.Queries
+		if win.Rate() != 0 {
+			t.Errorf("violation in %+v", win)
+		}
+	}
+	if total != 2 {
+		t.Errorf("%d queries across windows, want 2", total)
+	}
+}
+
+func TestWindowedViolationsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid tracker did not panic")
+		}
+	}()
+	NewWindowedViolations(0, 1)
+}

@@ -1,0 +1,303 @@
+// Package monitor implements the multi-resource contention monitor
+// (§VI): a daemon that runs the three contention meters on the serverless
+// platform at a low rate (1 QPS each, §VII-E), inverts their profiling
+// curves to quantify the platform pressure P = {P_cpu, P_io, P_net}, and
+// calibrates the Eq. 6 weights from heartbeat samples with PCA regression.
+//
+// Weight calibration: every sample period the execution engine reports,
+// per service, the degradation features e_i = L_i/L₀ − 1 predicted by the
+// latency surfaces at the current pressure, together with the slowdown the
+// service actually experienced. The monitor regresses observed slowdown on
+// the features — in PCA component space, because the features are
+// correlated — and hands the resulting weights w₁..w₃ back to the
+// controller. Amoeba-NoM disables this and stays on the initial
+// pessimistic weights w₀ = (1,1,1), the additive-accumulation assumption.
+package monitor
+
+import (
+	"fmt"
+
+	"amoeba/internal/linalg"
+	"amoeba/internal/meters"
+	"amoeba/internal/metrics"
+	"amoeba/internal/pca"
+	"amoeba/internal/serverless"
+	"amoeba/internal/sim"
+	"amoeba/internal/stats"
+)
+
+// Weights is a calibrated Eq. 6 weight vector for one service.
+type Weights struct {
+	W         [3]float64
+	Intercept float64
+	Learned   bool // false until enough heartbeat samples arrived
+}
+
+// InitialWeights returns w₀ — the weights the controller must use before
+// (or, for Amoeba-NoM, instead of) calibration. Uncalibrated predictions
+// must never let a switch-in violate QoS, so w₀ is pessimistic on two
+// axes (§VII-C: "Amoeba-NoM has to pessimistically assume that the QoS
+// degradations ... are accumulated"):
+//
+//   - per-resource degradations fully accumulate AND carry a sampling
+//     -uncertainty margin (w_i = 1.4 instead of the calibrated <1), and
+//   - a baseline interference floor (the intercept) covers contention
+//     below the meters' noise floor.
+//
+// PCA calibration replaces all of this with the fitted linear model,
+// which is what makes Amoeba switch earlier than Amoeba-NoM (Fig. 14).
+func InitialWeights() Weights {
+	return Weights{W: [3]float64{1.4, 1.4, 1.4}, Intercept: 0.20}
+}
+
+// Predict returns the slowdown (>= 1) for the given degradation features.
+// The prediction is clamped to at least the largest single-resource
+// degradation: contention on several resources can never hurt less than
+// the worst one alone.
+func (w Weights) Predict(e [3]float64) float64 {
+	s := w.Intercept
+	floor := 0.0
+	for i, x := range e {
+		s += w.W[i] * x
+		if x > floor {
+			floor = x
+		}
+	}
+	if s < floor {
+		s = floor
+	}
+	return 1 + s
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// MeterQPS is the probing rate per meter (paper: 1 QPS).
+	MeterQPS float64
+	// SamplePeriod is the heartbeat/calibration period T (Eq. 8 decides
+	// its floor; core computes it per deployment).
+	SamplePeriod float64
+	// Window is the number of heartbeat samples kept per service.
+	Window int
+	// MinSamples is how many samples are needed before PCA calibration
+	// replaces w₀.
+	MinSamples int
+	// UsePCA enables weight calibration; false reproduces Amoeba-NoM.
+	UsePCA bool
+	// MeterEWMAAlpha smooths meter latencies between periods.
+	MeterEWMAAlpha float64
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		MeterQPS:       1,
+		SamplePeriod:   10,
+		Window:         240,
+		MinSamples:     12,
+		UsePCA:         true,
+		MeterEWMAAlpha: 0.12,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MeterQPS <= 0 || c.SamplePeriod <= 0 {
+		return fmt.Errorf("monitor: non-positive rates/periods")
+	}
+	if c.Window < c.MinSamples || c.MinSamples < 4 {
+		return fmt.Errorf("monitor: window %d / min samples %d malformed", c.Window, c.MinSamples)
+	}
+	if c.MeterEWMAAlpha <= 0 || c.MeterEWMAAlpha > 1 {
+		return fmt.Errorf("monitor: EWMA alpha %v out of (0,1]", c.MeterEWMAAlpha)
+	}
+	return nil
+}
+
+type sampleWindow struct {
+	features [][3]float64
+	targets  []float64 // observed slowdown − 1
+	weights  Weights
+}
+
+// Monitor is the contention-monitor daemon.
+type Monitor struct {
+	sim    *sim.Simulator
+	pool   *serverless.Platform
+	cfg    Config
+	curves [3]*meters.Curve
+
+	meterLat  [3]*stats.EWMA
+	pressure  [3]float64
+	services  map[string]*sampleWindow
+	stop      []func()
+	started   bool
+	meterCPUs float64 // CPU-seconds consumed by meters (overhead tracking)
+}
+
+// New creates a monitor against the given platform. The meter functions
+// are registered on the platform here; Start launches the probing.
+func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, cfg Config) *Monitor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	for i, c := range curves {
+		if c == nil {
+			panic(fmt.Sprintf("monitor: missing curve %d", i))
+		}
+		if err := c.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	m := &Monitor{
+		sim:      s,
+		pool:     pool,
+		cfg:      cfg,
+		curves:   curves,
+		services: make(map[string]*sampleWindow),
+	}
+	for i := range m.meterLat {
+		m.meterLat[i] = stats.NewEWMA(cfg.MeterEWMAAlpha)
+	}
+	for _, mt := range meters.All() {
+		mt := mt
+		m.pool.Register(mt.Profile, func(r metrics.QueryRecord) {
+			if r.Breakdown.ColdStart > 0 {
+				return // a stray cold start says nothing about contention
+			}
+			m.meterLat[mt.Index].Update(r.Latency())
+			m.meterCPUs += mt.Profile.Demand.CPU * r.Breakdown.Exec
+		})
+	}
+	return m
+}
+
+// Start launches the meter probes and the periodic pressure update.
+func (m *Monitor) Start() {
+	if m.started {
+		panic("monitor: Start called twice")
+	}
+	m.started = true
+	period := 1 / m.cfg.MeterQPS
+	for _, mt := range meters.All() {
+		name := mt.Profile.Name
+		// Keep one container warm per meter so probes measure contention,
+		// not cold starts.
+		m.pool.Prewarm(name, 1, nil)
+		stop := m.sim.Every(period, func() { m.pool.Invoke(name) })
+		m.stop = append(m.stop, stop)
+	}
+	stop := m.sim.Every(m.cfg.SamplePeriod, m.refresh)
+	m.stop = append(m.stop, stop)
+}
+
+// Stop halts probing and refresh.
+func (m *Monitor) Stop() {
+	for _, fn := range m.stop {
+		fn()
+	}
+	m.stop = nil
+}
+
+// refresh recomputes the pressure estimate from smoothed meter latencies.
+func (m *Monitor) refresh() {
+	for i := range m.pressure {
+		if m.meterLat[i].Initialized() {
+			m.pressure[i] = m.curves[i].PressureFor(m.meterLat[i].Value())
+		}
+	}
+}
+
+// Pressure returns the latest quantified pressure estimate
+// P = {P_cpu, P_io, P_net} (§IV-B Measurement).
+func (m *Monitor) Pressure() [3]float64 { return m.pressure }
+
+// MeterLatency returns the smoothed latency of meter idx (0 before any
+// probe completed).
+func (m *Monitor) MeterLatency(idx int) float64 { return m.meterLat[idx].Value() }
+
+// MeterCPUSeconds returns the cumulative CPU consumed by the meter probes
+// (§VII-E's overhead metric).
+func (m *Monitor) MeterCPUSeconds() float64 { return m.meterCPUs }
+
+// Heartbeat ingests one calibration sample for a service: the degradation
+// features the surfaces predicted and the slowdown actually observed.
+// This is the "heartbeat package ... sent from the execution engine to
+// contention monitor" of §VI-A.
+func (m *Monitor) Heartbeat(service string, features [3]float64, observedSlowdown float64) {
+	if observedSlowdown < 1 {
+		observedSlowdown = 1
+	}
+	win, ok := m.services[service]
+	if !ok {
+		win = &sampleWindow{weights: InitialWeights()}
+		m.services[service] = win
+	}
+	win.features = append(win.features, features)
+	win.targets = append(win.targets, observedSlowdown-1)
+	if len(win.features) > m.cfg.Window {
+		win.features = win.features[1:]
+		win.targets = win.targets[1:]
+	}
+	if m.cfg.UsePCA && len(win.features) >= m.cfg.MinSamples {
+		m.recalibrate(win)
+	}
+}
+
+// recalibrate refits the PCA regression for one service's window,
+// updating w₀ → w_n (§VI-A).
+func (m *Monitor) recalibrate(win *sampleWindow) {
+	rows := make([][]float64, len(win.features))
+	informative := false
+	for i, f := range win.features {
+		rows[i] = []float64{f[0], f[1], f[2]}
+		if f[0] > 1e-6 || f[1] > 1e-6 || f[2] > 1e-6 {
+			informative = true
+		}
+	}
+	if !informative {
+		// All-zero features (no contention observed yet): keep w₀, any
+		// fit would be degenerate.
+		return
+	}
+	reg := pca.FitRegression(linalg.FromRows(rows), win.targets, 0)
+	var w Weights
+	copy(w.W[:], reg.Weights)
+	w.Intercept = reg.Intercept
+	// Clamp against wild extrapolation from a noisy window: weights far
+	// outside [0, w0] have no physical reading (a resource cannot undo
+	// more degradation than exists, nor amplify it several-fold).
+	for i := range w.W {
+		if w.W[i] < -0.5 {
+			w.W[i] = -0.5
+		}
+		if w.W[i] > 2 {
+			w.W[i] = 2
+		}
+	}
+	if w.Intercept > 0.5 {
+		w.Intercept = 0.5
+	}
+	if w.Intercept < -0.5 {
+		w.Intercept = -0.5
+	}
+	w.Learned = true
+	win.weights = w
+}
+
+// WeightsFor returns the calibrated weights for a service (w₀ until the
+// window fills or when PCA is disabled).
+func (m *Monitor) WeightsFor(service string) Weights {
+	if win, ok := m.services[service]; ok {
+		return win.weights
+	}
+	return InitialWeights()
+}
+
+// SampleCount returns the heartbeat samples currently windowed for a
+// service.
+func (m *Monitor) SampleCount(service string) int {
+	if win, ok := m.services[service]; ok {
+		return len(win.features)
+	}
+	return 0
+}

@@ -1,0 +1,183 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"amoeba/internal/linalg"
+	"amoeba/internal/sim"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Points along the (1, 1) direction with small orthogonal noise: the
+	// first component must align with (1,1)/sqrt(2).
+	rng := sim.NewRNG(1)
+	rows := make([][]float64, 300)
+	for i := range rows {
+		tt := rng.Normal(0, 5)
+		n := rng.Normal(0, 0.1)
+		rows[i] = []float64{tt + n, tt - n}
+	}
+	m := Fit(linalg.FromRows(rows))
+	c0 := []float64{m.Components.At(0, 0), m.Components.At(1, 0)}
+	ratio := c0[0] / c0[1]
+	if math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("leading component = %v, want ~(1,1) direction", c0)
+	}
+	if m.ExplainedVariance(1) < 0.99 {
+		t.Fatalf("explained variance of PC1 = %v, want > 0.99", m.ExplainedVariance(1))
+	}
+}
+
+func TestExplainedVarianceMonotone(t *testing.T) {
+	rng := sim.NewRNG(2)
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{rng.Normal(0, 3), rng.Normal(0, 2), rng.Normal(0, 1)}
+	}
+	m := Fit(linalg.FromRows(rows))
+	prev := 0.0
+	for k := 0; k <= 3; k++ {
+		ev := m.ExplainedVariance(k)
+		if ev < prev-1e-12 {
+			t.Fatalf("explained variance decreased at k=%d: %v < %v", k, ev, prev)
+		}
+		prev = ev
+	}
+	if math.Abs(m.ExplainedVariance(3)-1) > 1e-9 {
+		t.Fatalf("full basis explains %v, want 1", m.ExplainedVariance(3))
+	}
+}
+
+func TestComponentsFor(t *testing.T) {
+	rng := sim.NewRNG(3)
+	// One dominant axis: 1 component should satisfy a 90% threshold.
+	rows := make([][]float64, 200)
+	for i := range rows {
+		tt := rng.Normal(0, 10)
+		rows[i] = []float64{tt, 0.1 * rng.Normal(0, 1), 0.1 * rng.Normal(0, 1)}
+	}
+	m := Fit(linalg.FromRows(rows))
+	if k := m.ComponentsFor(0.9); k != 1 {
+		t.Fatalf("ComponentsFor(0.9) = %d, want 1", k)
+	}
+	if k := m.ComponentsFor(1.0); k != 3 {
+		t.Fatalf("ComponentsFor(1.0) = %d, want 3", k)
+	}
+}
+
+func TestTransformCenters(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m := Fit(linalg.FromRows(rows))
+	// Transforming the mean must give the zero vector.
+	z := m.Transform([]float64{3, 4}, 2)
+	for _, v := range z {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("transform of mean = %v, want zeros", z)
+		}
+	}
+}
+
+func TestRegressionRecoversLinearModel(t *testing.T) {
+	// y = 2 a + 0.5 b - 1 c + 3, with correlated features.
+	rng := sim.NewRNG(4)
+	n := 500
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a := rng.Normal(1, 2)
+		b := a + rng.Normal(0, 0.5) // correlated with a
+		c := rng.Normal(-1, 1)
+		rows[i] = []float64{a, b, c}
+		y[i] = 2*a + 0.5*b - c + 3 + rng.Normal(0, 0.01)
+	}
+	reg := FitRegression(linalg.FromRows(rows), y, 3)
+	// With all components kept, PCR equals OLS: coefficients recovered.
+	want := []float64{2, 0.5, -1}
+	for j, w := range want {
+		if math.Abs(reg.Weights[j]-w) > 0.05 {
+			t.Fatalf("weight %d = %v, want %v (all: %v)", j, reg.Weights[j], w, reg.Weights)
+		}
+	}
+	if math.Abs(reg.Intercept-3) > 0.1 {
+		t.Fatalf("intercept = %v, want ~3", reg.Intercept)
+	}
+	if rmse := reg.RMSE(linalg.FromRows(rows), y); rmse > 0.05 {
+		t.Fatalf("RMSE = %v, want < 0.05", rmse)
+	}
+}
+
+func TestRegressionTruncatedStableUnderCollinearity(t *testing.T) {
+	// Two nearly identical features; truncated PCR must still predict well
+	// and produce finite weights.
+	rng := sim.NewRNG(5)
+	n := 300
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a := rng.Normal(0, 1)
+		rows[i] = []float64{a, a + rng.Normal(0, 1e-4), rng.Normal(0, 1)}
+		y[i] = 3*a + rows[i][2]
+	}
+	reg := FitRegression(linalg.FromRows(rows), y, 0) // auto-select k
+	for _, w := range reg.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("non-finite weight: %v", reg.Weights)
+		}
+	}
+	if rmse := reg.RMSE(linalg.FromRows(rows), y); rmse > 0.1 {
+		t.Fatalf("truncated PCR RMSE = %v", rmse)
+	}
+	// Near-duplicate features should receive near-equal weight (the PCA
+	// solution splits the coefficient, unlike raw OLS which can explode).
+	if math.Abs(reg.Weights[0]-reg.Weights[1]) > 0.5 {
+		t.Fatalf("collinear weights diverged: %v", reg.Weights)
+	}
+}
+
+func TestRegressionAutoSelectExplains95(t *testing.T) {
+	rng := sim.NewRNG(6)
+	n := 200
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a := rng.Normal(0, 5)
+		rows[i] = []float64{a, a * 0.99, a * 1.01}
+		y[i] = a
+	}
+	reg := FitRegression(linalg.FromRows(rows), y, 0)
+	if reg.K != 1 {
+		t.Fatalf("auto-selected k = %d, want 1 for rank-1 data", reg.K)
+	}
+	if reg.Explained < 0.95 {
+		t.Fatalf("explained = %v", reg.Explained)
+	}
+}
+
+func TestFitTooFewSamplesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fit with one sample did not panic")
+		}
+	}()
+	Fit(linalg.FromRows([][]float64{{1, 2}}))
+}
+
+func TestPredictDimensionMismatchPanics(t *testing.T) {
+	reg := &Regression{Weights: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict with wrong dims did not panic")
+		}
+	}()
+	reg.Predict([]float64{1})
+}
+
+func TestZeroVarianceDegenerate(t *testing.T) {
+	// Constant features: Fit must not blow up, explained variance is 1.
+	rows := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	m := Fit(linalg.FromRows(rows))
+	if ev := m.ExplainedVariance(1); ev != 1 {
+		t.Fatalf("explained variance of constant data = %v, want 1", ev)
+	}
+}

@@ -1,0 +1,300 @@
+// Package profiling builds the contention-meter curves (Fig. 8) and the
+// per-microservice latency surfaces (Fig. 9) by running controlled
+// mini-simulations against the serverless platform: the probed function
+// runs alone while the harness holds the pressure on one resource at an
+// exact level, sweeping the grid.
+//
+// Every grid cell is an independent simulation with its own seed, so the
+// sweep fans out across a worker pool — one goroutine per core — which is
+// the one place this repository parallelises: across simulations, never
+// inside one.
+package profiling
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"amoeba/internal/arrival"
+	"amoeba/internal/meters"
+	"amoeba/internal/metrics"
+	"amoeba/internal/resources"
+	"amoeba/internal/serverless"
+	"amoeba/internal/sim"
+	"amoeba/internal/stats"
+	"amoeba/internal/surfaces"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+// Options tunes the profiling harness.
+type Options struct {
+	// Duration is virtual seconds simulated per grid cell.
+	Duration float64
+	// ProbeQPS is the probe load used when profiling meter curves.
+	ProbeQPS float64
+	// Seed derives per-cell seeds.
+	Seed uint64
+	// Parallelism caps the worker pool (0 = GOMAXPROCS).
+	Parallelism int
+	// Quantile is the latency quantile recorded into surfaces (0.95).
+	Quantile float64
+}
+
+// DefaultOptions returns a configuration balancing precision and runtime.
+func DefaultOptions() Options {
+	return Options{
+		Duration:    60,
+		ProbeQPS:    2,
+		Seed:        0xA0EBA,
+		Parallelism: 0,
+		Quantile:    0.95,
+	}
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) validate() error {
+	if o.Duration <= 0 || o.ProbeQPS <= 0 {
+		return fmt.Errorf("profiling: non-positive duration/probe rate")
+	}
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		return fmt.Errorf("profiling: quantile %v out of (0,1)", o.Quantile)
+	}
+	return nil
+}
+
+// injectionFor converts a pressure level on meter resource idx into a raw
+// demand vector against the given capacity.
+func injectionFor(idx int, pressure float64, capacity resources.Vector) resources.Vector {
+	switch idx {
+	case 0:
+		return resources.Vector{CPU: pressure * capacity.CPU}
+	case 1:
+		return resources.Vector{DiskMBs: pressure * capacity.DiskMBs}
+	case 2:
+		return resources.Vector{NetMbs: pressure * capacity.NetMbs}
+	}
+	panic(fmt.Sprintf("profiling: meter index %d out of range", idx))
+}
+
+// measureCell runs one mini-simulation: the profile alone on a platform
+// whose pressure on meter resource idx is pinned at the given level,
+// driven at loadQPS, returning a latency quantile over warm queries.
+//
+// bodyOnly selects what is measured. Meter curves record the probe's full
+// warm-path latency (a 1 QPS probe never queues, so the whole latency is
+// contention signal). Latency surfaces record only the function body:
+// queueing is the M/M/N discriminant's job, and folding it into the
+// surfaces would double-count it in Eq. 6 — and blow the features up near
+// saturation, where profiling-cell queues explode.
+func measureCell(prof workload.Profile, idx int, pressure, loadQPS float64,
+	cfg serverless.Config, opts Options, seed uint64, bodyOnly bool) float64 {
+
+	s := sim.New(seed)
+	p := serverless.New(s, cfg)
+
+	lat := stats.NewSample(1024)
+	p.Register(prof, func(r metrics.QueryRecord) {
+		if r.Breakdown.ColdStart != 0 {
+			return // profiling measures the warm path
+		}
+		if bodyOnly {
+			lat.Add(r.Breakdown.Exec)
+		} else {
+			lat.Add(r.Latency())
+		}
+	}, serverless.WithNMax(400))
+
+	p.InjectDemand(injectionFor(idx, pressure, cfg.Node.Capacity()))
+
+	// Prewarm enough containers that profiling measures contention, not
+	// cold starts or queueing for capacity.
+	warm := int(loadQPS*(prof.ExecTime*4+prof.Overheads.Total())) + 2
+	p.Prewarm(prof.Name, warm, nil)
+
+	gen := arrival.New(s, trace.Constant{QPS: loadQPS}, func(sim.Time) { p.Invoke(prof.Name) })
+	// Start after the prewarm settles.
+	s.At(6, func() { gen.Start() })
+	s.Run(sim.Time(6 + opts.Duration))
+
+	if lat.Len() == 0 {
+		panic(fmt.Sprintf("profiling: no warm samples for %s at p=%v load=%v",
+			prof.Name, pressure, loadQPS))
+	}
+	if bodyOnly {
+		// Surfaces feed Eq. 6's μ — a mean processing capacity — so they
+		// record the mean body latency. The runtime heartbeat compares
+		// observed mean body time against the same statistic, keeping
+		// features and calibration targets commensurable.
+		return lat.Mean()
+	}
+	return lat.Quantile(opts.Quantile)
+}
+
+// MeterCurve profiles one contention meter (one panel of Fig. 8): its
+// latency as the pressure on its resource sweeps the grid. The result is
+// made monotone by isotonic (running-max) smoothing so the runtime
+// inversion is well-defined.
+func MeterCurve(m meters.Meter, cfg serverless.Config, pressures []float64, opts Options) *meters.Curve {
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	if len(pressures) < 2 {
+		panic("profiling: need at least 2 pressure points")
+	}
+	lats := make([]float64, len(pressures))
+	parallelFor(len(pressures), opts.workers(), func(i int) {
+		seed := opts.Seed ^ (uint64(m.Index+1) << 32) ^ uint64(i)
+		// Meters are profiled with the median (they probe, not serve).
+		o := opts
+		o.Quantile = 0.5
+		lats[i] = measureCell(m.Profile, m.Index, pressures[i], opts.ProbeQPS, cfg, o, seed, false)
+	})
+	for i := 1; i < len(lats); i++ { // isotonic smoothing
+		if lats[i] < lats[i-1] {
+			lats[i] = lats[i-1]
+		}
+	}
+	c := &meters.Curve{Meter: m, Pressures: append([]float64(nil), pressures...), Latencies: lats}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AllMeterCurves profiles the three meters.
+func AllMeterCurves(cfg serverless.Config, pressures []float64, opts Options) [3]*meters.Curve {
+	var out [3]*meters.Curve
+	var wg sync.WaitGroup
+	for _, m := range meters.All() {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[m.Index] = MeterCurve(m, cfg, pressures, opts)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// BuildSurface profiles one latency surface (one panel of Fig. 9): the
+// service's p95 latency over (pressure on resource idx) × (own load).
+func BuildSurface(prof workload.Profile, idx int, cfg serverless.Config,
+	pressures, loads []float64, opts Options) *surfaces.Surface {
+
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	lat := make([][]float64, len(pressures))
+	for i := range lat {
+		lat[i] = make([]float64, len(loads))
+	}
+	cells := len(pressures) * len(loads)
+	parallelFor(cells, opts.workers(), func(k int) {
+		i, j := k/len(loads), k%len(loads)
+		seed := opts.Seed ^ (uint64(idx+7) << 40) ^ uint64(k)<<8 ^ hashName(prof.Name)
+		lat[i][j] = measureCell(prof, idx, pressures[i], loads[j], cfg, opts, seed, true)
+	})
+	// Isotonic smoothing along the pressure axis: physics says more
+	// pressure never helps, so residual sampling noise is clamped.
+	for j := range loads {
+		for i := 1; i < len(pressures); i++ {
+			if lat[i][j] < lat[i-1][j] {
+				lat[i][j] = lat[i-1][j]
+			}
+		}
+	}
+	s := &surfaces.Surface{
+		Service:   prof.Name,
+		Resource:  idx,
+		Pressures: append([]float64(nil), pressures...),
+		Loads:     append([]float64(nil), loads...),
+		Lat:       lat,
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BuildSet profiles all three surfaces of a service.
+func BuildSet(prof workload.Profile, cfg serverless.Config,
+	pressures, loads []float64, opts Options) *surfaces.Set {
+
+	set := &surfaces.Set{Service: prof.Name}
+	var wg sync.WaitGroup
+	for idx := 0; idx < 3; idx++ {
+		idx := idx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			set.Surfaces[idx] = BuildSurface(prof, idx, cfg, pressures, loads, opts)
+		}()
+	}
+	wg.Wait()
+	if err := set.Validate(); err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// DefaultPressureGrid returns the pressure sweep used across experiments.
+func DefaultPressureGrid() []float64 {
+	return []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+}
+
+// DefaultLoadGrid returns the load sweep for a profile: fractions of its
+// peak, covering the region where serverless deployment is plausible.
+func DefaultLoadGrid(prof workload.Profile) []float64 {
+	fracs := []float64{0.02, 0.10, 0.25, 0.45, 0.60}
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		out[i] = prof.PeakQPS * f
+	}
+	return out
+}
+
+// parallelFor runs body(i) for i in [0, n) on up to workers goroutines.
+func parallelFor(n, workers int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,153 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiscriminantClosedForm evaluates the paper's Eq. 5 literally:
+//
+//	λ(μ) = Nμ + ln[(1-r)(1-ρ)/π_N] / (T_D − 1/μ)
+//
+// with ρ and π_N computed at the *current* λ (the equation is implicit in
+// λ; the paper iterates it with feedback). It returns the admissible
+// arrival rate; arrivals at or below it keep the r-quantile latency within
+// targetTD. Non-positive waiting budget (T_D <= 1/μ) returns 0: the
+// service time alone already exceeds the target.
+func DiscriminantClosedForm(q MMN, targetTD, r float64) float64 {
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	budget := targetTD - 1/q.Mu
+	if budget <= 0 {
+		return 0
+	}
+	if !q.Stable() {
+		return 0
+	}
+	piN := q.PiK(q.N)
+	if piN == 0 {
+		// No queueing mass at all: the full capacity is admissible.
+		return float64(q.N) * q.Mu
+	}
+	arg := (1 - r) * (1 - q.Rho()) / piN
+	if arg <= 0 {
+		return 0
+	}
+	lam := float64(q.N)*q.Mu + math.Log(arg)/budget
+	if lam < 0 {
+		return 0
+	}
+	return lam
+}
+
+// DiscriminantBisect returns the maximum arrival rate λ* such that the
+// r-quantile response time of M/M/N(λ*, μ, N) stays within targetTD,
+// found by bisection over λ in (0, Nμ). This is the authoritative
+// threshold used by the controller: unlike the closed form it accounts
+// for ρ's dependence on λ exactly.
+func DiscriminantBisect(mu float64, n int, targetTD, r float64) float64 {
+	if mu <= 0 || n <= 0 {
+		panic(fmt.Sprintf("queueing: invalid mu=%v n=%d", mu, n))
+	}
+	if targetTD <= 1/mu {
+		return 0 // bare service time already violates the target
+	}
+	ok := func(lambda float64) bool {
+		q := MMN{Lambda: lambda, Mu: mu, N: n}
+		return q.Stable() && q.QoSSatisfied(targetTD, r)
+	}
+	lo, hi := 0.0, float64(n)*mu
+	if ok(hi * (1 - 1e-9)) {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MinContainers returns the smallest container count n such that M/M/n at
+// the given λ and μ keeps the r-quantile within targetTD, capped at
+// maxN. It returns maxN+1 when even maxN is insufficient.
+func MinContainers(lambda, mu, targetTD, r float64, maxN int) int {
+	if maxN <= 0 {
+		panic("queueing: MinContainers with non-positive maxN")
+	}
+	for n := 1; n <= maxN; n++ {
+		q := MMN{Lambda: lambda, Mu: mu, N: n}
+		if q.Stable() && q.QoSSatisfied(targetTD, r) {
+			return n
+		}
+	}
+	return maxN + 1
+}
+
+// PrewarmCount implements Eq. 7: the number of prewarmed containers n such
+// that (n-1)/QoS_t < V_u <= n/QoS_t, i.e. n = ceil(V_u * QoS_t), with a
+// floor of 1 so a switch always warms at least one container.
+func PrewarmCount(loadQPS, qosTarget float64) int {
+	if qosTarget <= 0 {
+		panic("queueing: PrewarmCount with non-positive QoS target")
+	}
+	if loadQPS <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(loadQPS * qosTarget))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MaxContainers implements the paper's resource cap
+// n_max = min(1/δ, M₀/M₁): the share bound (at most a fraction δ of the
+// pool per tenant, expressed as its reciprocal) and the memory bound
+// (platform memory M₀ over per-container memory M₁).
+func MaxContainers(delta, platformMemMB, containerMemMB float64) int {
+	if delta <= 0 || delta > 1 {
+		panic(fmt.Sprintf("queueing: delta %v out of (0,1]", delta))
+	}
+	if containerMemMB <= 0 {
+		panic("queueing: non-positive container memory")
+	}
+	shareBound := 1 / delta
+	memBound := platformMemMB / containerMemMB
+	n := int(math.Min(shareBound, memBound))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SamplePeriod implements Eq. 8: the minimum monitor sample period T that
+// prevents a single accidental cold start from misleading the controller:
+//
+//	T > (cold_start − QoS_t + t_exec) / ((1−e) · QoS_t)
+//
+// where e is the allowed error fraction. The returned value is the bound
+// itself (callers should sample no more often). When the numerator is
+// non-positive a cold start cannot cause a violation, and the floor
+// minPeriod is returned.
+func SamplePeriod(coldStart, qosTarget, execTime, allowedError, minPeriod float64) float64 {
+	if qosTarget <= 0 {
+		panic("queueing: SamplePeriod with non-positive QoS target")
+	}
+	if allowedError <= 0 || allowedError >= 1 {
+		panic(fmt.Sprintf("queueing: allowed error %v out of (0,1)", allowedError))
+	}
+	num := coldStart - qosTarget + execTime
+	if num <= 0 {
+		return minPeriod
+	}
+	t := num / ((1 - allowedError) * qosTarget)
+	if t < minPeriod {
+		return minPeriod
+	}
+	return t
+}

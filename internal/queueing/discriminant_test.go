@@ -1,0 +1,193 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscriminantBisectIsAdmissible(t *testing.T) {
+	const mu, n, td, r = 2.0, 20, 1.5, 0.95
+	lam := DiscriminantBisect(mu, n, td, r)
+	if lam <= 0 || lam >= float64(n)*mu {
+		t.Fatalf("lambda* = %v out of (0, %v)", lam, float64(n)*mu)
+	}
+	// Just below the threshold: QoS holds. Just above: it fails.
+	below := MMN{Lambda: lam * 0.999, Mu: mu, N: n}
+	if !below.QoSSatisfied(td, r) {
+		t.Errorf("QoS violated just below lambda* (q95=%v)", below.ResponseQuantile(r))
+	}
+	above := MMN{Lambda: lam * 1.01, Mu: mu, N: n}
+	if above.Stable() && above.QoSSatisfied(td, r) {
+		t.Errorf("QoS still satisfied above lambda* (q95=%v, target %v)",
+			above.ResponseQuantile(r), td)
+	}
+}
+
+func TestDiscriminantBisectGenerousTarget(t *testing.T) {
+	// With a huge latency budget nearly the whole capacity is admissible
+	// (the threshold approaches Nμ from below as the budget grows).
+	lam := DiscriminantBisect(1, 10, 1000, 0.95)
+	if math.Abs(lam-10) > 0.01 {
+		t.Errorf("lambda* = %v, want ~10 (full capacity)", lam)
+	}
+}
+
+func TestDiscriminantBisectImpossibleTarget(t *testing.T) {
+	// Target below the bare service time: nothing is admissible.
+	if lam := DiscriminantBisect(1, 10, 0.5, 0.95); lam != 0 {
+		t.Errorf("lambda* = %v, want 0", lam)
+	}
+}
+
+func TestDiscriminantClosedFormAgreesRoughly(t *testing.T) {
+	// The closed form evaluates Eq. 5 at the operating point; near the true
+	// threshold it should agree with the bisection within ~20%.
+	const mu, n, td, r = 2.0, 20, 1.5, 0.95
+	lamStar := DiscriminantBisect(mu, n, td, r)
+	q := MMN{Lambda: lamStar, Mu: mu, N: n}
+	cf := DiscriminantClosedForm(q, td, r)
+	if cf <= 0 {
+		t.Fatalf("closed form returned %v at the true threshold", cf)
+	}
+	if rel := math.Abs(cf-lamStar) / lamStar; rel > 0.2 {
+		t.Errorf("closed form %v vs bisect %v (rel err %v)", cf, lamStar, rel)
+	}
+}
+
+func TestDiscriminantMonotoneInMu(t *testing.T) {
+	prev := 0.0
+	for _, mu := range []float64{0.8, 1, 1.5, 2, 3} {
+		lam := DiscriminantBisect(mu, 10, 2.0, 0.95)
+		if lam < prev {
+			t.Fatalf("lambda* not monotone in mu: mu=%v gives %v < %v", mu, lam, prev)
+		}
+		prev = lam
+	}
+}
+
+func TestDiscriminantBisectProperty(t *testing.T) {
+	f := func(muRaw, nRaw, tdRaw uint8) bool {
+		mu := 0.5 + float64(muRaw%40)/10
+		n := int(nRaw%30) + 1
+		td := 0.1 + float64(tdRaw%50)/10
+		lam := DiscriminantBisect(mu, n, td, 0.95)
+		if lam < 0 || lam > float64(n)*mu+1e-9 {
+			return false
+		}
+		if lam == 0 {
+			return true
+		}
+		q := MMN{Lambda: lam * 0.99, Mu: mu, N: n}
+		return q.QoSSatisfied(td, 0.95)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinContainers(t *testing.T) {
+	// lambda=5, mu=1: need at least 6 containers for stability; the QoS
+	// requirement can only push it higher.
+	n := MinContainers(5, 1, 2.0, 0.95, 100)
+	if n < 6 {
+		t.Fatalf("MinContainers = %d, below stability bound 6", n)
+	}
+	q := MMN{Lambda: 5, Mu: 1, N: n}
+	if !q.QoSSatisfied(2.0, 0.95) {
+		t.Error("MinContainers result does not satisfy QoS")
+	}
+	if n > 1 {
+		q2 := MMN{Lambda: 5, Mu: 1, N: n - 1}
+		if q2.Stable() && q2.QoSSatisfied(2.0, 0.95) {
+			t.Error("MinContainers not minimal")
+		}
+	}
+}
+
+func TestMinContainersInsufficientCap(t *testing.T) {
+	if n := MinContainers(100, 1, 0.9, 0.95, 5); n != 6 {
+		t.Errorf("MinContainers over cap = %d, want maxN+1 = 6", n)
+	}
+}
+
+func TestPrewarmCountEq7(t *testing.T) {
+	cases := []struct {
+		load, qos float64
+		want      int
+	}{
+		{10, 0.5, 5},   // ceil(10*0.5)
+		{10.1, 0.5, 6}, // strictly-greater boundary
+		{0, 1, 1},      // floor of one container
+		{0.3, 1, 1},
+		{100, 0.1, 10},
+	}
+	for _, c := range cases {
+		if got := PrewarmCount(c.load, c.qos); got != c.want {
+			t.Errorf("PrewarmCount(%v, %v) = %d, want %d", c.load, c.qos, got, c.want)
+		}
+	}
+}
+
+func TestPrewarmCountSatisfiesEq7Inequality(t *testing.T) {
+	f := func(loadRaw, qosRaw uint8) bool {
+		load := float64(loadRaw) / 4
+		qos := 0.05 + float64(qosRaw)/100
+		n := PrewarmCount(load, qos)
+		if load <= 0 {
+			return n == 1
+		}
+		// (n-1)/qos < load <= n/qos, allowing the n>=1 floor for tiny loads.
+		upper := float64(n) / qos
+		lower := float64(n-1) / qos
+		return load <= upper+1e-9 && (load > lower-1e-9 || n == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxContainers(t *testing.T) {
+	// Memory bound: 256GB platform / 256MB containers = 1000; share bound
+	// 1/delta = 20 is smaller.
+	if got := MaxContainers(0.05, 256*1024, 256); got != 20 {
+		t.Errorf("MaxContainers = %d, want 20", got)
+	}
+	// Memory bound binding.
+	if got := MaxContainers(0.5, 1024, 256); got != 2 {
+		t.Errorf("MaxContainers = %d, want 2", got)
+	}
+}
+
+func TestSamplePeriodEq8(t *testing.T) {
+	// cold=2s, QoS=0.5s, exec=0.3s, e=0.1 -> T > 1.8/0.45 = 4s.
+	got := SamplePeriod(2, 0.5, 0.3, 0.1, 1)
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("SamplePeriod = %v, want 4", got)
+	}
+	// Cold start absorbed by the budget: floor returned.
+	if got := SamplePeriod(0.1, 1.0, 0.2, 0.1, 2.5); got != 2.5 {
+		t.Errorf("SamplePeriod floor = %v, want 2.5", got)
+	}
+}
+
+func TestPanicsOnInvalidArguments(t *testing.T) {
+	cases := map[string]func(){
+		"DiscriminantBisect": func() { DiscriminantBisect(0, 1, 1, 0.95) },
+		"MinContainers":      func() { MinContainers(1, 1, 1, 0.95, 0) },
+		"PrewarmCount":       func() { PrewarmCount(1, 0) },
+		"MaxContainers":      func() { MaxContainers(0, 100, 10) },
+		"SamplePeriod":       func() { SamplePeriod(1, 1, 1, 1.5, 1) },
+		"ResponseQuantile":   func() { (MMN{Lambda: 1, Mu: 2, N: 1}).ResponseQuantile(1) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with invalid args did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

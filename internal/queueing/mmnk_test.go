@@ -1,0 +1,139 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1KKnownValues(t *testing.T) {
+	// M/M/1/K with rho=0.5, K=2: pi = {4/7, 2/7, 1/7}.
+	q := MMNK{Lambda: 0.5, Mu: 1, N: 1, K: 2}
+	want := []float64{4.0 / 7, 2.0 / 7, 1.0 / 7}
+	for k, w := range want {
+		if got := q.PiK(k); math.Abs(got-w) > 1e-12 {
+			t.Errorf("pi%d = %v, want %v", k, got, w)
+		}
+	}
+	if got := q.BlockingProbability(); math.Abs(got-1.0/7) > 1e-12 {
+		t.Errorf("blocking = %v, want 1/7", got)
+	}
+	if got := q.Throughput(); math.Abs(got-0.5*6/7) > 1e-12 {
+		t.Errorf("throughput = %v", got)
+	}
+}
+
+func TestMMNKProbabilitiesSumToOne(t *testing.T) {
+	f := func(lamRaw, muRaw, nRaw, extraRaw uint8) bool {
+		mu := 0.5 + float64(muRaw%40)/10
+		n := int(nRaw%20) + 1
+		k := n + int(extraRaw%30)
+		lam := float64(lamRaw) / 255 * mu * float64(n) * 2 // may exceed capacity
+		q := MMNK{Lambda: lam, Mu: mu, N: n, K: k}
+		sum := 0.0
+		for i := 0; i <= k; i++ {
+			sum += q.PiK(i)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMNKStableEvenOverloaded(t *testing.T) {
+	// Finite systems have a steady state at any offered load.
+	q := MMNK{Lambda: 100, Mu: 1, N: 4, K: 10}
+	b := q.BlockingProbability()
+	if b < 0.9 {
+		t.Errorf("blocking %v at 25x overload, want near 1", b)
+	}
+	if thr := q.Throughput(); thr > float64(q.N)*q.Mu*1.001 {
+		t.Errorf("throughput %v exceeds service capacity %v", thr, float64(q.N)*q.Mu)
+	}
+	if l := q.MeanInSystem(); l > float64(q.K) {
+		t.Errorf("E[L] = %v exceeds capacity K=%d", l, q.K)
+	}
+}
+
+func TestMMNKReducesToMMNAsKGrows(t *testing.T) {
+	inf := MMN{Lambda: 7, Mu: 1, N: 10}
+	fin := MMNK{Lambda: 7, Mu: 1, N: 10, K: 500}
+	if b := fin.BlockingProbability(); b > 1e-9 {
+		t.Errorf("blocking %v with huge K, want ~0", b)
+	}
+	if math.Abs(fin.MeanWait()-inf.MeanWait()) > 1e-6 {
+		t.Errorf("E[W] finite %v vs infinite %v", fin.MeanWait(), inf.MeanWait())
+	}
+	for k := 0; k <= 20; k++ {
+		if math.Abs(fin.PiK(k)-inf.PiK(k)) > 1e-9 {
+			t.Errorf("pi%d differs: %v vs %v", k, fin.PiK(k), inf.PiK(k))
+		}
+	}
+}
+
+func TestMMNNMatchesErlangB(t *testing.T) {
+	// A loss system (K=N) is exactly Erlang-B.
+	for _, lam := range []float64{1, 5, 9, 15} {
+		q := MMNK{Lambda: lam, Mu: 1, N: 10, K: 10}
+		want := q.erlangBEquivalent()
+		if got := q.BlockingProbability(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("lambda=%v: blocking %v vs Erlang-B %v", lam, got, want)
+		}
+	}
+}
+
+func TestErlangBKnownValue(t *testing.T) {
+	// Classic: a=2 erlangs, n=3 servers -> B = (8/6)/(1+2+2+8/6) = 4/19.
+	if got := ErlangB(2, 3); math.Abs(got-4.0/19) > 1e-12 {
+		t.Errorf("ErlangB(2,3) = %v, want 4/19", got)
+	}
+	if ErlangB(0, 5) != 0 {
+		t.Error("ErlangB with zero load != 0")
+	}
+	if ErlangB(5, 0) != 1 {
+		t.Error("ErlangB with zero servers != 1")
+	}
+}
+
+func TestMaxThroughputUnderBlocking(t *testing.T) {
+	q := MMNK{Mu: 1, N: 10, K: 20}
+	lam := q.MaxThroughputUnderBlocking(0.01)
+	if lam <= 0 {
+		t.Fatal("no admissible load")
+	}
+	at := MMNK{Lambda: lam, Mu: 1, N: 10, K: 20}
+	if b := at.BlockingProbability(); b > 0.0101 {
+		t.Errorf("blocking %v at the returned bound", b)
+	}
+	above := MMNK{Lambda: lam * 1.05, Mu: 1, N: 10, K: 20}
+	if b := above.BlockingProbability(); b <= 0.01 {
+		t.Errorf("bound not tight: blocking %v just above it", b)
+	}
+}
+
+func TestMMNKValidation(t *testing.T) {
+	if (MMNK{Lambda: 1, Mu: 1, N: 5, K: 3}).Validate() == nil {
+		t.Error("K < N accepted")
+	}
+	if (MMNK{Lambda: -1, Mu: 1, N: 1, K: 1}).Validate() == nil {
+		t.Error("negative lambda accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid blocking bound did not panic")
+		}
+	}()
+	(MMNK{Lambda: 1, Mu: 1, N: 1, K: 1}).MaxThroughputUnderBlocking(0)
+}
+
+func TestMMNKMeanResponseAtLeastServiceTime(t *testing.T) {
+	f := func(lamRaw uint8) bool {
+		lam := 0.1 + float64(lamRaw)/255*15
+		q := MMNK{Lambda: lam, Mu: 1, N: 8, K: 24}
+		return q.MeanResponse() >= 1/q.Mu-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple series listings — the textual equivalent of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("report: table with no columns")
+	}
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.3f.
+func (t *Table) AddRow(values ...interface{}) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d values, table has %d columns",
+			len(values), len(t.Columns)))
+	}
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = formatCell(v)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return trimFloat(x)
+	case float32:
+		return trimFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.3f", x)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named (x, y) sequence — a figure curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate reports malformed series.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// Figure is a set of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as aligned columns, one block per series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: %s, y: %s)\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "  series %s:\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "    %12.4f  %12.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// Sparkline renders y-values as a coarse unicode sparkline, a quick visual
+// check of a curve's shape in terminal output.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta-long-name", 42)
+	out := tab.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Errorf("row content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as long as the header.
+	if len(lines[3]) < len(lines[1])-2 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRowArityPanics(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity did not panic")
+		}
+	}()
+	tab.AddRow(1)
+}
+
+func TestFloatTrimming(t *testing.T) {
+	cases := map[float64]string{
+		1.0: "1", 1.5: "1.5", 0.125: "0.125", 0: "0", 2.100: "2.1",
+	}
+	for v, want := range cases {
+		if got := formatCell(v); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title: "curve", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{2, 3}}},
+	}
+	out := f.String()
+	if !strings.Contains(out, "series a") || !strings.Contains(out, "3.0000") {
+		t.Errorf("figure render missing content:\n%s", out)
+	}
+}
+
+func TestFigureRaggedSeriesPanics(t *testing.T) {
+	f := &Figure{Series: []Series{{Name: "bad", X: []float64{1}, Y: nil}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged series did not panic")
+		}
+	}()
+	_ = f.String()
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render lowest glyph: %q", flat)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := NewTable("demo", "name", "qps")
+	tab.AddRow("a,with,commas", 1.25)
+	tab.AddRow("b", 3)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output not valid CSV: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	if recs[0][0] != "name" || recs[1][0] != "a,with,commas" || recs[2][1] != "3" {
+		t.Errorf("CSV content wrong: %v", recs)
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &Figure{
+		Title: "curve", XLabel: "pressure", YLabel: "latency",
+		Series: []Series{
+			{Name: "cpu", X: []float64{0, 0.5}, Y: []float64{0.09, 0.1}},
+			{Name: "io", X: []float64{0}, Y: []float64{0.09}},
+		},
+	}
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 points
+		t.Fatalf("%d records, want 4", len(recs))
+	}
+	if recs[0][1] != "pressure" || recs[1][0] != "cpu" || recs[3][0] != "io" {
+		t.Errorf("long-form CSV wrong: %v", recs)
+	}
+}
+
+func TestCSVName(t *testing.T) {
+	if CSVName("fig11") != "fig11.csv" {
+		t.Error("CSVName wrong")
+	}
+}

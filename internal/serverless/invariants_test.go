@@ -1,0 +1,107 @@
+package serverless
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amoeba/internal/arrival"
+	"amoeba/internal/metrics"
+	"amoeba/internal/sim"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+// TestConservationProperty model-checks the platform's bookkeeping under
+// randomised load: every submitted activation is exactly one of
+// completed, rejected, queued, or in execution — none invented, none
+// lost — and the container/memory accounts balance.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint64, qpsRaw, nMaxRaw, queueCapRaw uint8, horizonRaw uint8) bool {
+		qps := 1 + float64(qpsRaw%40)
+		nMax := 1 + int(nMaxRaw%12)
+		queueCap := int(queueCapRaw % 50) // 0 = unbounded
+		horizon := 20 + float64(horizonRaw%60)
+
+		s := sim.New(seed)
+		cfg := DefaultConfig()
+		cfg.MaxQueue = queueCap
+		p := New(s, cfg)
+
+		prof := workload.Float()
+		completed := 0
+		p.Register(prof, func(metrics.QueryRecord) { completed++ }, WithNMax(nMax))
+
+		submitted := 0
+		gen := arrival.New(s, trace.Constant{QPS: qps}, func(sim.Time) {
+			submitted++
+			p.Invoke(prof.Name)
+		})
+		gen.Start()
+		s.Run(sim.Time(horizon))
+
+		rejected := p.Rejected(prof.Name)
+		inflight := p.Inflight(prof.Name)
+		if submitted != completed+rejected+inflight {
+			t.Logf("seed=%d: submitted %d != completed %d + rejected %d + inflight %d",
+				seed, submitted, completed, rejected, inflight)
+			return false
+		}
+		// Container count within the cap; memory account matches.
+		if p.Containers(prof.Name) > nMax {
+			t.Logf("seed=%d: containers %d > nMax %d", seed, p.Containers(prof.Name), nMax)
+			return false
+		}
+		if p.MemAllocatedMB() != float64(p.Containers(prof.Name))*cfg.ContainerMemMB {
+			t.Logf("seed=%d: memory %v != containers %d × %v",
+				seed, p.MemAllocatedMB(), p.Containers(prof.Name), cfg.ContainerMemMB)
+			return false
+		}
+		// Drain: with arrivals stopped everything in flight completes.
+		gen.Stop()
+		s.Run(sim.Time(horizon + 300))
+		if p.Inflight(prof.Name) != 0 {
+			t.Logf("seed=%d: %d activations stuck after drain", seed, p.Inflight(prof.Name))
+			return false
+		}
+		if submitted != completed+p.Rejected(prof.Name) {
+			t.Logf("seed=%d: post-drain conservation broken", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyDecompositionProperty: every record's components are
+// non-negative and the total reconstructs from the parts.
+func TestLatencyDecompositionProperty(t *testing.T) {
+	s := sim.New(77)
+	p := New(s, DefaultConfig())
+	prof := workload.DD()
+	bad := 0
+	p.Register(prof, func(r metrics.QueryRecord) {
+		b := r.Breakdown
+		for _, v := range []float64{b.Queue, b.ColdStart, b.Processing, b.CodeLoad, b.Exec, b.Post} {
+			if v < 0 {
+				bad++
+			}
+		}
+		if b.Exec <= 0 {
+			bad++ // a query that did no work
+		}
+		if r.Latency() < b.Exec {
+			bad++
+		}
+	}, WithNMax(6))
+	gen := arrival.New(s, trace.Constant{QPS: 25}, func(sim.Time) { p.Invoke(prof.Name) })
+	gen.Start()
+	s.Run(300)
+	if bad != 0 {
+		t.Fatalf("%d malformed breakdowns", bad)
+	}
+	if p.Completed() < 1000 {
+		t.Fatalf("only %d completions", p.Completed())
+	}
+}

@@ -1,0 +1,135 @@
+package serverless
+
+import (
+	"testing"
+
+	"amoeba/internal/arrival"
+	"amoeba/internal/metrics"
+	"amoeba/internal/sim"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+func TestBoundedQueueRejects(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.MaxQueue = 5
+	p := New(s, cfg)
+	rejects := 0
+	p.Register(workload.Float(), nil, WithNMax(1), WithRejectHandler(func() { rejects++ }))
+	s.At(1, func() {
+		for i := 0; i < 20; i++ {
+			p.Invoke("float")
+		}
+	})
+	s.Run(100)
+	// One runs (bound to the cold container), five queue, the rest bounce.
+	if p.Rejected("float") == 0 {
+		t.Fatal("no rejections with a full bounded queue")
+	}
+	if rejects != p.Rejected("float") {
+		t.Errorf("handler fired %d times, counter says %d", rejects, p.Rejected("float"))
+	}
+	if got := p.Rejected("float") + 6; got != 20 {
+		t.Errorf("accepted+rejected mismatch: %d rejected of 20", p.Rejected("float"))
+	}
+}
+
+func TestUnboundedQueueNeverRejects(t *testing.T) {
+	s := sim.New(2)
+	p := New(s, DefaultConfig()) // MaxQueue = 0
+	p.Register(workload.Float(), nil, WithNMax(1))
+	s.At(1, func() {
+		for i := 0; i < 200; i++ {
+			p.Invoke("float")
+		}
+	})
+	s.Run(10)
+	if p.Rejected("float") != 0 {
+		t.Errorf("%d rejections on an unbounded queue", p.Rejected("float"))
+	}
+}
+
+func TestMinWarmPoolFillsAndSurvivesReclaim(t *testing.T) {
+	s := sim.New(3)
+	p := New(s, DefaultConfig())
+	p.Register(workload.Float(), nil, WithMinWarm(3))
+	if p.MinWarm("float") != 3 {
+		t.Fatalf("MinWarm = %d", p.MinWarm("float"))
+	}
+	s.Run(20) // enough for the initial fill's cold starts
+	if got := p.IdleContainers("float"); got != 3 {
+		t.Fatalf("idle = %d after initial fill, want 3", got)
+	}
+	// Far past the idle timeout the floor must still be warm.
+	s.Run(500)
+	if got := p.IdleContainers("float"); got != 3 {
+		t.Errorf("idle = %d after reclaim window, want the floor 3", got)
+	}
+}
+
+func TestMinWarmReplenishesAfterUse(t *testing.T) {
+	s := sim.New(4)
+	p := New(s, DefaultConfig())
+	var cold int
+	p.Register(workload.Float(), func(r metrics.QueryRecord) {
+		if r.Breakdown.ColdStart > 0 {
+			cold++
+		}
+	}, WithMinWarm(2))
+	s.Run(20)
+	// A slow trickle: every query should find a warm container, and the
+	// pool should top itself back up in the background.
+	g := arrival.New(s, trace.Constant{QPS: 0.2}, func(sim.Time) { p.Invoke("float") })
+	g.Start()
+	s.Run(400)
+	if cold != 0 {
+		t.Errorf("%d cold starts with a warm-pool floor", cold)
+	}
+	if got := p.IdleContainers("float"); got < 2 {
+		t.Errorf("idle = %d, want the floor 2 restored", got)
+	}
+}
+
+func TestMinWarmFloorNotEvicted(t *testing.T) {
+	s := sim.New(5)
+	cfg := DefaultConfig()
+	cfg.Node.MemMB = 1200 // room for ~4 containers
+	cfg.MemReserve = 0
+	p := New(s, cfg)
+	a := workload.Float()
+	a.Name = "a"
+	b := workload.Float()
+	b.Name = "b"
+	p.Register(a, nil, WithMinWarm(2))
+	p.Register(b, nil)
+	s.Run(20)
+	// b needs containers; a's floor must not be cannibalised.
+	s.At(21, func() {
+		p.Invoke("b")
+		p.Invoke("b")
+	})
+	s.Run(60)
+	if got := p.IdleContainers("a"); got < 2 {
+		t.Errorf("a's warm floor shrank to %d under b's pressure", got)
+	}
+}
+
+func TestConfigRejectsNegativeQueueCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueue = -1
+	if cfg.Validate() == nil {
+		t.Error("negative queue cap accepted")
+	}
+}
+
+func TestWithMinWarmNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative warm floor did not panic")
+		}
+	}()
+	s := sim.New(6)
+	p := New(s, DefaultConfig())
+	p.Register(workload.Float(), nil, WithMinWarm(-1))
+}

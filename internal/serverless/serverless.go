@@ -1,0 +1,616 @@
+// Package serverless simulates the shared FaaS platform (the paper's
+// modified Apache OpenWhisk, §V): a memory-bounded pool of per-function
+// containers fed by a FIFO activation queue.
+//
+// Lifecycle per the paper's Fig. 7: an arriving query is enqueued; a ready
+// (warm) container picks it up, otherwise the platform cold-starts a new
+// container — allocating its 256 MB (Table II), paying the cold-start
+// delay — and the query runs there. A container executes one activation
+// at a time and stays warm for an idle window after finishing; reuse of
+// warm containers is the platform's main defence against cold starts, and
+// the prewarm API lets Amoeba's execution engine warm capacity *before*
+// routing queries (§V-A).
+//
+// While a function body executes, its resource demand joins the
+// platform-wide aggregate; the contention model converts the aggregate
+// into per-resource pressure and a latency multiplier, sampled when the
+// body starts (frozen-at-dispatch, see DESIGN.md).
+package serverless
+
+import (
+	"fmt"
+	"math"
+
+	"amoeba/internal/cluster"
+	"amoeba/internal/contention"
+	"amoeba/internal/metrics"
+	"amoeba/internal/queueing"
+	"amoeba/internal/resources"
+	"amoeba/internal/sim"
+	"amoeba/internal/workload"
+)
+
+// Config tunes the platform.
+type Config struct {
+	Node cluster.Node
+
+	// ColdStartMean and ColdStartCV parameterise the log-normal cold
+	// start delay. The paper (§V-A) quotes one to three seconds.
+	ColdStartMean float64
+	ColdStartCV   float64
+
+	// CodeLoadColdFactor multiplies a function's hot code-load time on
+	// the cold path (pulling the image vs touching the cache).
+	CodeLoadColdFactor float64
+
+	// IdleTimeout is how long a warm container lingers before reclaim.
+	IdleTimeout float64
+
+	// Delta is the per-tenant share bound; n_max = min(1/Delta, M0/M1)
+	// (§IV-A).
+	Delta float64
+
+	// ContainerMemMB is the fixed container size (Table II: 256 MB).
+	ContainerMemMB float64
+
+	// MemReserve is the fraction of node memory kept for the platform
+	// itself; containers may use the rest.
+	MemReserve float64
+
+	// MaxQueue bounds the shared activation queue (0 = unbounded). Public
+	// platforms impose such a cap — the §I "concurrent request
+	// threshold"; arrivals beyond it are rejected and counted.
+	MaxQueue int
+}
+
+// DefaultConfig returns the Table II / §V configuration.
+func DefaultConfig() Config {
+	return Config{
+		Node:               cluster.DefaultNode("serverless"),
+		ColdStartMean:      1.2,
+		ColdStartCV:        0.25,
+		CodeLoadColdFactor: 8,
+		IdleTimeout:        60,
+		Delta:              0.10,
+		ContainerMemMB:     workload.ContainerMemMB,
+		MemReserve:         0.10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if c.ColdStartMean <= 0 || c.ColdStartCV < 0 {
+		return fmt.Errorf("serverless: invalid cold start %v/%v", c.ColdStartMean, c.ColdStartCV)
+	}
+	if c.IdleTimeout <= 0 {
+		return fmt.Errorf("serverless: non-positive idle timeout")
+	}
+	if c.Delta <= 0 || c.Delta > 1 {
+		return fmt.Errorf("serverless: delta %v out of (0,1]", c.Delta)
+	}
+	if c.ContainerMemMB <= 0 {
+		return fmt.Errorf("serverless: non-positive container memory")
+	}
+	if c.MemReserve < 0 || c.MemReserve >= 1 {
+		return fmt.Errorf("serverless: mem reserve %v out of [0,1)", c.MemReserve)
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("serverless: negative queue cap")
+	}
+	return nil
+}
+
+type containerState int
+
+const (
+	stateColdStarting containerState = iota
+	statePrewarming
+	stateIdle
+	stateBusy
+	stateDead
+)
+
+type container struct {
+	id      int
+	fn      *function
+	state   containerState
+	idleAt  sim.Time
+	reclaim sim.EventHandle
+	bound   *activation // query waiting for this cold start
+}
+
+type activation struct {
+	fn      *function
+	arrived sim.Time
+}
+
+type function struct {
+	profile    workload.Profile
+	nMax       int
+	minWarm    int // floor of warm containers kept alive (pool strategy)
+	warming    int // containers currently prewarming toward the floor
+	onComplete func(metrics.QueryRecord)
+	onReject   func()
+	idle       []*container
+	containers int // live containers (any state)
+	usage      *resources.Usage
+	inflight   int
+	rejected   int
+}
+
+// Platform is the simulated serverless computing platform.
+type Platform struct {
+	sim    *sim.Simulator
+	cfg    Config
+	model  *contention.Model
+	rng    *sim.RNG
+	fns    map[string]*function
+	queue  []*activation
+	demand resources.Vector // aggregate demand of running bodies
+	memMB  float64          // memory allocated by live containers
+	nextID int
+	// counters
+	coldStarts int
+	evictions  int
+	completed  uint64
+}
+
+// New creates a platform on the given simulator.
+func New(s *sim.Simulator, cfg Config) *Platform {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Platform{
+		sim:   s,
+		cfg:   cfg,
+		model: contention.NewModel(cfg.Node.Capacity()),
+		rng:   s.RNG().Split(),
+		fns:   make(map[string]*function),
+	}
+}
+
+// Model exposes the platform's ground-truth contention model (experiments
+// and the profiler use it; the runtime controller must not — it only sees
+// meter readings).
+func (p *Platform) Model() *contention.Model { return p.model }
+
+// RegisterOption customises a function registration.
+type RegisterOption func(*function)
+
+// WithNMax overrides the per-function container cap (used by experiments
+// that equalise serverless and IaaS resources, e.g. Fig. 3).
+func WithNMax(n int) RegisterOption {
+	return func(f *function) {
+		if n <= 0 {
+			panic("serverless: WithNMax requires a positive cap")
+		}
+		f.nMax = n
+	}
+}
+
+// WithMinWarm keeps at least n warm containers alive for the function at
+// all times — the static pool-based cold-start mitigation of Lin &
+// Glikson [20], implemented as an ablation against Amoeba's
+// switch-triggered prewarming. The floor is replenished whenever reuse or
+// reclaim would drop below it, and reclaim never shrinks the pool under
+// the floor.
+func WithMinWarm(n int) RegisterOption {
+	return func(f *function) {
+		if n < 0 {
+			panic("serverless: negative warm-pool floor")
+		}
+		f.minWarm = n
+	}
+}
+
+// WithRejectHandler installs a callback fired when the platform's
+// bounded activation queue rejects an invocation.
+func WithRejectHandler(fn func()) RegisterOption {
+	return func(f *function) { f.onReject = fn }
+}
+
+// Register adds a function to the platform. onComplete receives every
+// finished activation (may be nil).
+func (p *Platform) Register(profile workload.Profile, onComplete func(metrics.QueryRecord), opts ...RegisterOption) {
+	if err := profile.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := p.fns[profile.Name]; dup {
+		panic(fmt.Sprintf("serverless: duplicate function %q", profile.Name))
+	}
+	f := &function{
+		profile:    profile,
+		nMax:       queueing.MaxContainers(p.cfg.Delta, p.usableMemMB(), p.cfg.ContainerMemMB),
+		onComplete: onComplete,
+		usage:      resources.NewUsage(float64(p.sim.Now())),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	p.fns[profile.Name] = f
+	if f.minWarm > 0 {
+		p.sim.After(0, func() { p.replenish(f) })
+	}
+}
+
+func (p *Platform) usableMemMB() float64 {
+	return p.cfg.Node.MemMB * (1 - p.cfg.MemReserve)
+}
+
+func (p *Platform) mustFn(name string) *function {
+	f, ok := p.fns[name]
+	if !ok {
+		panic(fmt.Sprintf("serverless: unknown function %q", name))
+	}
+	return f
+}
+
+// Invoke submits one query for the named function. When the platform's
+// activation queue is bounded and full, the invocation is rejected.
+func (p *Platform) Invoke(name string) {
+	f := p.mustFn(name)
+	if p.cfg.MaxQueue > 0 && len(p.queue) >= p.cfg.MaxQueue {
+		f.rejected++
+		if f.onReject != nil {
+			f.onReject()
+		}
+		return
+	}
+	f.inflight++
+	p.queue = append(p.queue, &activation{fn: f, arrived: p.sim.Now()})
+	p.pump()
+}
+
+// pump scans the FIFO queue in arrival order, placing every activation
+// that can be placed right now.
+func (p *Platform) pump() {
+	remaining := p.queue[:0]
+	for _, act := range p.queue {
+		if !p.place(act) {
+			remaining = append(remaining, act)
+		}
+	}
+	p.queue = remaining
+}
+
+// place tries to run or bind the activation; reports success.
+func (p *Platform) place(act *activation) bool {
+	f := act.fn
+	// 1. Reuse a warm container.
+	if len(f.idle) > 0 {
+		c := f.idle[len(f.idle)-1] // most recently used: best cache behaviour
+		f.idle = f.idle[:len(f.idle)-1]
+		c.reclaim.Cancel()
+		p.execute(c, act, 0)
+		p.replenish(f)
+		return true
+	}
+	if f.containers >= f.nMax {
+		return false
+	}
+	// 2. Cold start a new container if memory allows, evicting another
+	// function's longest-idle container when the pool is full.
+	if !p.memAvailable() && !p.evictIdle(f) {
+		return false
+	}
+	if !p.memAvailable() {
+		return false
+	}
+	c := p.newContainer(f, stateColdStarting)
+	c.bound = act
+	delay := p.sampleColdStart()
+	p.sim.After(delay, func() {
+		if c.state == stateDead {
+			return
+		}
+		bound := c.bound
+		c.bound = nil
+		if bound == nil {
+			p.makeIdle(c)
+			p.pump()
+			return
+		}
+		p.execute(c, bound, delay)
+	})
+	return true
+}
+
+func (p *Platform) memAvailable() bool {
+	return p.memMB+p.cfg.ContainerMemMB <= p.usableMemMB()
+}
+
+// evictIdle destroys the longest-idle warm container belonging to any
+// *other* function; reports whether one was found. Functions holding a
+// warm-pool floor keep it: eviction never digs below minWarm.
+func (p *Platform) evictIdle(requester *function) bool {
+	var victim *container
+	for _, f := range p.fns {
+		if f == requester || len(f.idle) <= f.minWarm {
+			continue
+		}
+		for _, c := range f.idle {
+			if victim == nil || c.idleAt < victim.idleAt {
+				victim = c
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	p.evictions++
+	p.destroy(victim)
+	return true
+}
+
+func (p *Platform) newContainer(f *function, st containerState) *container {
+	p.nextID++
+	c := &container{id: p.nextID, fn: f, state: st}
+	f.containers++
+	p.memMB += p.cfg.ContainerMemMB
+	f.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: p.cfg.ContainerMemMB})
+	return c
+}
+
+func (p *Platform) destroy(c *container) {
+	if c.state == stateDead {
+		return
+	}
+	if c.state == stateIdle {
+		f := c.fn
+		for i, ic := range f.idle {
+			if ic == c {
+				f.idle = append(f.idle[:i], f.idle[i+1:]...)
+				break
+			}
+		}
+	}
+	c.reclaim.Cancel()
+	c.state = stateDead
+	c.fn.containers--
+	p.memMB -= p.cfg.ContainerMemMB
+	c.fn.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: -p.cfg.ContainerMemMB})
+}
+
+func (p *Platform) makeIdle(c *container) {
+	c.state = stateIdle
+	c.idleAt = p.sim.Now()
+	c.fn.idle = append(c.fn.idle, c)
+	c.reclaim = p.sim.After(p.cfg.IdleTimeout, func() {
+		// The warm-pool floor survives idle reclaim.
+		if c.state == stateIdle && len(c.fn.idle) > c.fn.minWarm {
+			p.destroy(c)
+		}
+	})
+}
+
+// replenish keeps the function's warm-pool floor filled.
+func (p *Platform) replenish(f *function) {
+	for len(f.idle)+f.warming < f.minWarm {
+		if !p.startPrewarmOne(f, nil) {
+			return
+		}
+	}
+}
+
+// startPrewarmOne launches one prewarming container; reports whether it
+// could be started (nMax and memory permitting). onWarm fires when the
+// container becomes idle (or dies first).
+func (p *Platform) startPrewarmOne(f *function, onWarm func()) bool {
+	if f.containers >= f.nMax {
+		return false
+	}
+	if !p.memAvailable() && !p.evictIdle(f) {
+		return false
+	}
+	if !p.memAvailable() {
+		return false
+	}
+	c := p.newContainer(f, statePrewarming)
+	f.warming++
+	p.sim.After(p.sampleColdStart(), func() {
+		f.warming--
+		if c.state != stateDead {
+			p.makeIdle(c)
+			p.pump()
+		}
+		if onWarm != nil {
+			onWarm()
+		}
+	})
+	return true
+}
+
+func (p *Platform) sampleColdStart() float64 {
+	mu, sigma := lognormalParams(p.cfg.ColdStartMean, p.cfg.ColdStartCV)
+	p.coldStarts++
+	return p.rng.LogNormal(mu, sigma)
+}
+
+// execute models the activation's latency anatomy and demand. coldDelay
+// is the cold-start time already paid before this call (zero on the warm
+// path).
+func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
+	f := c.fn
+	prof := f.profile
+	c.state = stateBusy
+
+	now := p.sim.Now()
+	queueWait := float64(now-act.arrived) - coldDelay
+	if queueWait < 0 {
+		queueWait = 0
+	}
+
+	codeLoad := prof.Overheads.CodeLoadHot
+	if coldDelay > 0 {
+		codeLoad *= p.cfg.CodeLoadColdFactor
+	}
+
+	// Function body: solo-run time scaled by the slowdown under the
+	// pressure at dispatch.
+	mu, sigma := lognormalParams(prof.ExecTime, prof.ExecCV)
+	body := p.rng.LogNormal(mu, sigma)
+	pressure := p.model.Pressure(p.demand)
+	body *= p.model.Slowdown(pressure, prof.Sensitivity)
+
+	bd := metrics.Breakdown{
+		Queue:      queueWait,
+		ColdStart:  coldDelay,
+		Processing: prof.Overheads.Processing,
+		CodeLoad:   codeLoad,
+		Exec:       body,
+		Post:       prof.Overheads.ResultPost,
+	}
+	busy := bd.Processing + bd.CodeLoad + bd.Exec + bd.Post
+
+	// The body's demand joins the platform aggregate for its duration.
+	d := prof.Demand
+	d.MemMB = 0 // memory is accounted per container, not per body
+	p.demand = p.demand.Add(d)
+	f.usage.Adjust(float64(now), d)
+
+	p.sim.After(busy, func() {
+		p.demand = p.demand.Sub(d)
+		f.usage.Adjust(float64(p.sim.Now()), d.Scale(-1))
+		f.inflight--
+		p.completed++
+		if f.onComplete != nil {
+			f.onComplete(metrics.QueryRecord{
+				Service:   prof.Name,
+				Backend:   metrics.BackendServerless,
+				ArrivedAt: float64(act.arrived),
+				Breakdown: bd,
+			})
+		}
+		p.makeIdle(c)
+		p.pump()
+	})
+}
+
+// Prewarm starts up to n fresh containers for the named function; they
+// become warm after their cold start and then serve queries without
+// cold-start latency (§V-A). Returns how many were actually started
+// (memory and n_max bound the rest). onReady, if non-nil, fires once all
+// started containers are warm.
+func (p *Platform) Prewarm(name string, n int, onReady func()) int {
+	f := p.mustFn(name)
+	started, pending := 0, 0
+	for i := 0; i < n; i++ {
+		ok := p.startPrewarmOne(f, func() {
+			pending--
+			if pending == 0 && onReady != nil {
+				onReady()
+				onReady = nil
+			}
+		})
+		if !ok {
+			break
+		}
+		started++
+		pending++
+	}
+	if started == 0 && onReady != nil {
+		// Nothing to warm: report readiness immediately (next event).
+		p.sim.After(0, onReady)
+	}
+	return started
+}
+
+// Rejected returns the invocations refused by the bounded queue for the
+// named function.
+func (p *Platform) Rejected(name string) int { return p.mustFn(name).rejected }
+
+// MinWarm returns the warm-pool floor applied to the named function.
+func (p *Platform) MinWarm(name string) int { return p.mustFn(name).minWarm }
+
+// ReleaseIdle destroys all warm containers of the named function — the
+// engine's shutdown signal S_sd after a switch back to IaaS (§V-B).
+func (p *Platform) ReleaseIdle(name string) int {
+	f := p.mustFn(name)
+	n := len(f.idle)
+	for len(f.idle) > 0 {
+		p.destroy(f.idle[0])
+	}
+	return n
+}
+
+// InjectDemand permanently adds raw demand to the platform aggregate —
+// the profiling harness uses it to hold the pressure on one resource at an
+// exact level while building meter curves (Fig. 8) and latency surfaces
+// (Fig. 9). Pass a negative vector to remove previously injected demand.
+func (p *Platform) InjectDemand(v resources.Vector) {
+	next := p.demand.Add(v)
+	for _, k := range resources.Kinds() {
+		if val := next.Get(k); val < 0 && val > -1e-9 {
+			next = next.Set(k, 0) // float residue from add/remove cycles
+		}
+	}
+	p.demand = next
+	if !p.demand.NonNegative() {
+		panic(fmt.Sprintf("serverless: injected demand made aggregate negative: %v", p.demand))
+	}
+}
+
+// Pressure returns the current platform pressure — the ground truth the
+// contention meters estimate indirectly.
+func (p *Platform) Pressure() contention.Pressure {
+	return p.model.Pressure(p.demand)
+}
+
+// DemandNow returns the aggregate running demand.
+func (p *Platform) DemandNow() resources.Vector { return p.demand }
+
+// QueueLength returns the number of waiting activations.
+func (p *Platform) QueueLength() int { return len(p.queue) }
+
+// Containers returns the live container count for the named function.
+func (p *Platform) Containers(name string) int { return p.mustFn(name).containers }
+
+// IdleContainers returns the warm container count for the named function.
+func (p *Platform) IdleContainers(name string) int { return len(p.mustFn(name).idle) }
+
+// Inflight returns submitted-but-incomplete activations for the function.
+func (p *Platform) Inflight(name string) int { return p.mustFn(name).inflight }
+
+// NMax returns the container cap applied to the named function.
+func (p *Platform) NMax(name string) int { return p.mustFn(name).nMax }
+
+// ColdStarts returns the number of container starts so far (cold and
+// prewarm).
+func (p *Platform) ColdStarts() int { return p.coldStarts }
+
+// Evictions returns the number of idle-container evictions so far.
+func (p *Platform) Evictions() int { return p.evictions }
+
+// Completed returns the number of finished activations.
+func (p *Platform) Completed() uint64 { return p.completed }
+
+// UsageFor returns the function's accumulated resource-time integral up to
+// now: MemMB·s of container residency plus CPU/IO/net demand while
+// executing. This is the serverless side of Fig. 11's accounting.
+func (p *Platform) UsageFor(name string) resources.Vector {
+	return p.mustFn(name).usage.TotalAt(float64(p.sim.Now()))
+}
+
+// AllocFor returns the function's instantaneous allocation.
+func (p *Platform) AllocFor(name string) resources.Vector {
+	return p.mustFn(name).usage.Current()
+}
+
+// MemAllocatedMB returns the pool's current container memory footprint.
+func (p *Platform) MemAllocatedMB() float64 { return p.memMB }
+
+// lognormalParams converts a (mean, CV) pair into the (mu, sigma) of the
+// underlying normal. A zero CV degenerates to a deterministic value.
+func lognormalParams(mean, cv float64) (mu, sigma float64) {
+	if mean <= 0 {
+		panic(fmt.Sprintf("serverless: non-positive lognormal mean %v", mean))
+	}
+	if cv <= 0 {
+		return math.Log(mean), 0
+	}
+	s2 := math.Log(1 + cv*cv)
+	return math.Log(mean) - s2/2, math.Sqrt(s2)
+}

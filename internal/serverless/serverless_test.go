@@ -1,0 +1,391 @@
+package serverless
+
+import (
+	"math"
+	"testing"
+
+	"amoeba/internal/arrival"
+	"amoeba/internal/metrics"
+	"amoeba/internal/sim"
+	"amoeba/internal/trace"
+	"amoeba/internal/workload"
+)
+
+func newPlatform(seed uint64) (*sim.Simulator, *Platform) {
+	s := sim.New(seed)
+	return s, New(s, DefaultConfig())
+}
+
+func TestFirstInvocationColdStarts(t *testing.T) {
+	s, p := newPlatform(1)
+	var recs []metrics.QueryRecord
+	p.Register(workload.Float(), func(r metrics.QueryRecord) { recs = append(recs, r) })
+	s.At(1, func() { p.Invoke("float") })
+	s.Run(100)
+	if len(recs) != 1 {
+		t.Fatalf("completed %d queries, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Breakdown.ColdStart <= 0 {
+		t.Error("first invocation did not pay a cold start")
+	}
+	if r.Breakdown.ColdStart < 0.3 || r.Breakdown.ColdStart > 5 {
+		t.Errorf("cold start %vs outside the 1-3s ballpark", r.Breakdown.ColdStart)
+	}
+	if r.Backend != metrics.BackendServerless {
+		t.Errorf("backend = %v", r.Backend)
+	}
+	// Cold code load is amplified.
+	if r.Breakdown.CodeLoad <= workload.Float().Overheads.CodeLoadHot {
+		t.Error("cold path did not amplify code load")
+	}
+}
+
+func TestWarmReuseAvoidsColdStart(t *testing.T) {
+	s, p := newPlatform(2)
+	var recs []metrics.QueryRecord
+	p.Register(workload.Float(), func(r metrics.QueryRecord) { recs = append(recs, r) })
+	s.At(1, func() { p.Invoke("float") })
+	s.At(20, func() { p.Invoke("float") }) // within the 60s idle window
+	s.Run(100)
+	if len(recs) != 2 {
+		t.Fatalf("completed %d queries, want 2", len(recs))
+	}
+	if recs[1].Breakdown.ColdStart != 0 {
+		t.Errorf("second invocation cold-started (%vs)", recs[1].Breakdown.ColdStart)
+	}
+	if recs[1].Breakdown.Queue != 0 {
+		t.Errorf("second invocation queued %vs with an idle container", recs[1].Breakdown.Queue)
+	}
+	if p.ColdStarts() != 1 {
+		t.Errorf("cold starts = %d, want 1", p.ColdStarts())
+	}
+}
+
+func TestIdleTimeoutReclaims(t *testing.T) {
+	s, p := newPlatform(3)
+	p.Register(workload.Float(), nil)
+	s.At(1, func() { p.Invoke("float") })
+	s.Run(30)
+	if p.Containers("float") != 1 {
+		t.Fatalf("containers = %d before timeout", p.Containers("float"))
+	}
+	s.Run(200) // well past the 60s idle timeout
+	if p.Containers("float") != 0 {
+		t.Errorf("containers = %d after idle timeout, want 0", p.Containers("float"))
+	}
+	if p.MemAllocatedMB() != 0 {
+		t.Errorf("pool memory %vMB after reclaim, want 0", p.MemAllocatedMB())
+	}
+}
+
+func TestReuseCancelsReclaim(t *testing.T) {
+	s, p := newPlatform(4)
+	p.Register(workload.Float(), nil)
+	// Keep poking the container every 30s: it must survive far beyond 60s.
+	for i := 1; i <= 10; i++ {
+		tt := float64(i) * 30
+		s.At(sim.Time(tt), func() { p.Invoke("float") })
+	}
+	s.Run(301)
+	if p.Containers("float") != 1 {
+		t.Errorf("containers = %d, want 1 continuously-reused container", p.Containers("float"))
+	}
+	if p.ColdStarts() != 1 {
+		t.Errorf("cold starts = %d, want 1", p.ColdStarts())
+	}
+}
+
+func TestPrewarmEliminatesColdStart(t *testing.T) {
+	s, p := newPlatform(5)
+	var recs []metrics.QueryRecord
+	p.Register(workload.Float(), func(r metrics.QueryRecord) { recs = append(recs, r) })
+	ready := false
+	s.At(1, func() {
+		n := p.Prewarm("float", 3, func() { ready = true })
+		if n != 3 {
+			t.Errorf("prewarmed %d, want 3", n)
+		}
+	})
+	s.At(30, func() {
+		if !ready {
+			t.Error("prewarm not ready after 29s")
+		}
+		if p.IdleContainers("float") != 3 {
+			t.Errorf("idle = %d after prewarm, want 3", p.IdleContainers("float"))
+		}
+		for i := 0; i < 3; i++ {
+			p.Invoke("float")
+		}
+	})
+	s.Run(100)
+	if len(recs) != 3 {
+		t.Fatalf("completed %d, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Breakdown.ColdStart != 0 {
+			t.Errorf("query %d cold-started after prewarm", i)
+		}
+	}
+}
+
+func TestPrewarmRespectsNMax(t *testing.T) {
+	s, p := newPlatform(6)
+	p.Register(workload.Float(), nil, WithNMax(2))
+	var started int
+	s.At(1, func() { started = p.Prewarm("float", 10, nil) })
+	s.Run(50)
+	if started != 2 {
+		t.Errorf("prewarm started %d, want nMax=2", started)
+	}
+	if p.Containers("float") != 2 {
+		t.Errorf("containers = %d", p.Containers("float"))
+	}
+}
+
+func TestQueueWhenAtNMax(t *testing.T) {
+	s, p := newPlatform(7)
+	var recs []metrics.QueryRecord
+	p.Register(workload.Float(), func(r metrics.QueryRecord) { recs = append(recs, r) }, WithNMax(1))
+	s.At(1, func() {
+		p.Invoke("float")
+		p.Invoke("float")
+		p.Invoke("float")
+	})
+	s.At(5, func() {
+		if p.Containers("float") != 1 {
+			t.Errorf("containers = %d mid-burst, want 1 (nMax)", p.Containers("float"))
+		}
+	})
+	s.Run(200)
+	if len(recs) != 3 {
+		t.Fatalf("completed %d, want 3", len(recs))
+	}
+	// The 2nd and 3rd must have queued behind the single container.
+	if recs[1].Breakdown.Queue <= 0 || recs[2].Breakdown.Queue <= recs[1].Breakdown.Queue {
+		t.Errorf("queue times not increasing: %v then %v",
+			recs[1].Breakdown.Queue, recs[2].Breakdown.Queue)
+	}
+}
+
+func TestContentionSlowsSensitiveService(t *testing.T) {
+	// Run float alone vs float beside a heavy CPU hog; the hog must
+	// inflate float's exec time.
+	soloExec := func(seed uint64, withHog bool) float64 {
+		s, p := newPlatform(seed)
+		var execs []float64
+		p.Register(workload.Float(), func(r metrics.QueryRecord) {
+			execs = append(execs, r.Breakdown.Exec)
+		})
+		if withHog {
+			hog := workload.Matmul()
+			hog.Name = "hog"
+			hog.Demand.CPU = 1.0
+			p.Register(hog, nil, WithNMax(200))
+			// 35 concurrent hog queries ≈ 35/40 CPU pressure.
+			g := arrival.New(s, trace.Constant{QPS: 140}, func(sim.Time) { p.Invoke("hog") })
+			g.Start()
+		}
+		gen := arrival.New(s, trace.Constant{QPS: 2}, func(sim.Time) { p.Invoke("float") })
+		gen.Start()
+		s.Run(600)
+		sum := 0.0
+		for _, e := range execs {
+			sum += e
+		}
+		return sum / float64(len(execs))
+	}
+	alone := soloExec(8, false)
+	contended := soloExec(8, true)
+	if contended < alone*1.15 {
+		t.Errorf("exec alone %v vs contended %v: CPU hog had <15%% effect", alone, contended)
+	}
+}
+
+func TestInsensitiveServiceUnaffectedByWrongResource(t *testing.T) {
+	// A pure-CPU service must not slow down under heavy *network*
+	// pressure (§II-D's key observation).
+	mean := func(seed uint64, withNetHog bool) float64 {
+		s, p := newPlatform(seed)
+		var execs []float64
+		prof := workload.Float()
+		prof.Sensitivity.Net = 0 // strictly CPU sensitive
+		p.Register(prof, func(r metrics.QueryRecord) { execs = append(execs, r.Breakdown.Exec) })
+		if withNetHog {
+			hog := workload.CloudStor()
+			hog.Name = "nethog"
+			hog.Demand.CPU = 0.05 // negligible CPU
+			hog.Demand.NetMbs = 2000
+			p.Register(hog, nil, WithNMax(200))
+			g := arrival.New(s, trace.Constant{QPS: 40}, func(sim.Time) { p.Invoke("nethog") })
+			g.Start()
+		}
+		gen := arrival.New(s, trace.Constant{QPS: 2}, func(sim.Time) { p.Invoke(prof.Name) })
+		gen.Start()
+		s.Run(400)
+		sum := 0.0
+		for _, e := range execs {
+			sum += e
+		}
+		return sum / float64(len(execs))
+	}
+	alone := mean(9, false)
+	hogged := mean(9, true)
+	if math.Abs(hogged-alone)/alone > 0.05 {
+		t.Errorf("CPU-only service moved %v -> %v under net pressure", alone, hogged)
+	}
+}
+
+func TestEvictionOfOtherFunctionsIdleContainers(t *testing.T) {
+	s := sim.New(10)
+	cfg := DefaultConfig()
+	cfg.Node.MemMB = 600 // room for ~2 containers (with 10% reserve: 540MB)
+	cfg.MemReserve = 0.0
+	p := New(s, cfg)
+	a := workload.Float()
+	a.Name = "a"
+	b := workload.Float()
+	b.Name = "b"
+	p.Register(a, nil)
+	p.Register(b, nil)
+	s.At(1, func() { p.Invoke("a") })
+	s.At(1, func() { p.Invoke("a") })  // two containers of a, both idle later
+	s.At(30, func() { p.Invoke("b") }) // must evict one idle a-container
+	s.Run(59)                          // before idle timeout
+	if p.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", p.Evictions())
+	}
+	if p.Containers("a") != 1 || p.Containers("b") != 1 {
+		t.Errorf("containers a=%d b=%d, want 1/1", p.Containers("a"), p.Containers("b"))
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s, p := newPlatform(11)
+	p.Register(workload.Float(), nil)
+	s.At(1, func() { p.Invoke("float") })
+	s.At(10, func() {
+		if p.MemAllocatedMB() != 256 {
+			t.Errorf("pool mem = %v, want 256", p.MemAllocatedMB())
+		}
+		if p.AllocFor("float").MemMB != 256 {
+			t.Errorf("fn alloc = %v", p.AllocFor("float"))
+		}
+	})
+	s.Run(300)
+	// After reclaim the integral stays but the allocation is zero.
+	if p.AllocFor("float").MemMB != 0 {
+		t.Errorf("fn alloc after reclaim = %v", p.AllocFor("float"))
+	}
+	if p.UsageFor("float").MemMB <= 0 {
+		t.Error("usage integral empty")
+	}
+}
+
+func TestUsageCPUOnlyWhileBusy(t *testing.T) {
+	s, p := newPlatform(12)
+	p.Register(workload.Float(), nil)
+	s.At(1, func() { p.Invoke("float") })
+	s.Run(300)
+	u := p.UsageFor("float")
+	// One query: CPU-seconds ≈ demand.CPU × busy duration (~0.12s).
+	if u.CPU < 0.05 || u.CPU > 0.5 {
+		t.Errorf("CPU usage integral = %v core-s, want ~0.12", u.CPU)
+	}
+}
+
+func TestThroughputUnderSteadyLoad(t *testing.T) {
+	s, p := newPlatform(13)
+	var n int
+	p.Register(workload.Float(), func(metrics.QueryRecord) { n++ })
+	g := arrival.New(s, trace.Constant{QPS: 20}, func(sim.Time) { p.Invoke("float") })
+	g.Start()
+	s.Run(500)
+	want := 20.0 * 500
+	if math.Abs(float64(n)-want)/want > 0.05 {
+		t.Errorf("completed %d, want ~%v", n, want)
+	}
+	if p.QueueLength() > 10 {
+		t.Errorf("queue backlog %d at moderate load", p.QueueLength())
+	}
+}
+
+func TestReleaseIdle(t *testing.T) {
+	s, p := newPlatform(14)
+	p.Register(workload.Float(), nil)
+	s.At(1, func() { p.Prewarm("float", 4, nil) })
+	s.At(30, func() {
+		if released := p.ReleaseIdle("float"); released != 4 {
+			t.Errorf("released %d, want 4", released)
+		}
+		if p.Containers("float") != 0 {
+			t.Errorf("containers = %d after release", p.Containers("float"))
+		}
+	})
+	s.Run(40)
+}
+
+func TestPressureReflectsRunningBodies(t *testing.T) {
+	s, p := newPlatform(15)
+	prof := workload.Float()
+	prof.ExecTime = 20 // long body so we can observe mid-flight
+	prof.QoSTarget = 60
+	p.Register(prof, nil, WithNMax(100))
+	s.At(1, func() {
+		for i := 0; i < 8; i++ {
+			p.Invoke("float")
+		}
+	})
+	s.At(10, func() {
+		// 8 bodies × 1 core / 40 cores = 0.2 pressure.
+		if pr := p.Pressure(); math.Abs(pr.CPU-0.2) > 0.01 {
+			t.Errorf("CPU pressure = %v, want 0.2", pr.CPU)
+		}
+	})
+	s.Run(60)
+	if pr := p.Pressure(); pr.CPU != 0 {
+		t.Errorf("pressure after completion = %v, want 0", pr.CPU)
+	}
+}
+
+func TestUnknownFunctionPanics(t *testing.T) {
+	_, p := newPlatform(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("Invoke of unknown function did not panic")
+		}
+	}()
+	p.Invoke("ghost")
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	_, p := newPlatform(17)
+	p.Register(workload.Float(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	p.Register(workload.Float(), nil)
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		s, p := newPlatform(99)
+		var lats []float64
+		p.Register(workload.DD(), func(r metrics.QueryRecord) { lats = append(lats, r.Latency()) })
+		g := arrival.New(s, trace.Constant{QPS: 10}, func(sim.Time) { p.Invoke("dd") })
+		g.Start()
+		s.Run(200)
+		return lats
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All platform models in this repository (the serverless container pool,
+// the IaaS VM groups, arrival processes, the contention monitor's sampling
+// daemon, ...) are expressed as events on a single virtual clock. The
+// kernel is single-threaded and deterministic: given the same seed and the
+// same event schedule it produces bit-identical results, which is what
+// makes the paper's experiments reproducible as tests and benchmarks.
+// Parallelism in this repository happens *across* simulations (parameter
+// sweeps fan out one simulation per goroutine), never inside one.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration converts a virtual duration in seconds to time.Duration for
+// human-readable reporting.
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", float64(t))
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break so equal-time events fire in schedule order
+	fn   func()
+	dead bool
+}
+
+// EventHandle allows a scheduled event to be cancelled before it fires.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+type Simulator struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *RNG
+	fired  uint64
+	halted bool
+}
+
+// New returns a simulator with its clock at zero, seeded with seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulator's root random source. Components should call
+// Split to derive private streams so that adding a component does not
+// perturb the draws seen by the others.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Events returns the number of events fired so far.
+func (s *Simulator) Events() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it always indicates a model bug.
+func (s *Simulator) At(at Time, fn func()) EventHandle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, s.now))
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", float64(at)))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventHandle{ev: ev}
+}
+
+// After schedules fn to run delay seconds from now.
+func (s *Simulator) After(delay float64, fn func()) EventHandle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.At(s.now+Time(delay), fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run fires events in time order until the queue is empty or the clock
+// would pass horizon. It returns the number of events fired during the
+// call. The clock is left at min(horizon, time of last event); events
+// scheduled beyond the horizon remain queued.
+func (s *Simulator) Run(horizon Time) uint64 {
+	var fired uint64
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		next := s.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.dead {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		fired++
+		s.fired++
+	}
+	if s.now < horizon && !s.halted {
+		s.now = horizon
+	}
+	return fired
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Every schedules fn at the given period, starting one period from now,
+// until the returned stop function is called. fn observes the simulator's
+// clock; the ticker reschedules itself after each firing.
+func (s *Simulator) Every(period float64, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	stopped := false
+	var tick func()
+	var handle EventHandle
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			handle = s.After(period, tick)
+		}
+	}
+	handle = s.After(period, tick)
+	return func() {
+		stopped = true
+		handle.Cancel()
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the Jain & Chlamtac P² algorithm: a streaming estimate of
+// one quantile in O(1) memory. Long multi-day simulations produce
+// hundreds of millions of latencies; the exact Sample keeps them all,
+// which is fine for a day but not for a month — monitors that need a
+// running p95 over an unbounded stream use this instead.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired positions
+	inc     [5]float64 // desired-position increments
+	initial []float64  // first five observations before the invariant holds
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: P² quantile %v out of (0,1)", p))
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add records one observation.
+func (q *P2Quantile) Add(x float64) {
+	q.n++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, x)
+		if len(q.initial) == 5 {
+			sort.Float64s(q.initial)
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and clamp the extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+
+	// Adjust the three interior markers with the parabolic formula,
+	// falling back to linear when P² would break monotonicity.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Count returns the number of observations.
+func (q *P2Quantile) Count() int { return q.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact small-sample quantile; with
+// none it returns NaN.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if len(q.initial) < 5 {
+		tmp := append([]float64(nil), q.initial...)
+		sort.Float64s(tmp)
+		idx := int(q.p * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return q.heights[2]
+}

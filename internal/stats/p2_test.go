@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"amoeba/internal/sim"
+)
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := NewP2Quantile(p)
+		exact := NewSample(0)
+		for i := 0; i < 100000; i++ {
+			v := rng.Float64() * 100
+			q.Add(v)
+			exact.Add(v)
+		}
+		want := exact.Quantile(p)
+		got := q.Value()
+		if math.Abs(got-want) > 1.5 { // 1.5 of a 0..100 range
+			t.Errorf("p=%v: P² %v vs exact %v", p, got, want)
+		}
+	}
+}
+
+func TestP2AgainstExactLogNormal(t *testing.T) {
+	// Latency-shaped (skewed) data is the real workload.
+	rng := sim.NewRNG(2)
+	q := NewP2Quantile(0.95)
+	exact := NewSample(0)
+	for i := 0; i < 200000; i++ {
+		v := rng.LogNormal(-2, 0.4) // ~latency-like, median 0.135
+		q.Add(v)
+		exact.Add(v)
+	}
+	want := exact.P95()
+	got := q.Value()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("p95: P² %v vs exact %v (rel %.3f)", got, want, math.Abs(got-want)/want)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.95)
+	if !math.IsNaN(q.Value()) {
+		t.Error("empty estimator should return NaN")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		q.Add(v)
+	}
+	if got := q.Value(); got < 1 || got > 3 {
+		t.Errorf("small-sample value %v outside observed range", got)
+	}
+	if q.Count() != 3 {
+		t.Errorf("Count = %d", q.Count())
+	}
+}
+
+func TestP2MonotoneMarkers(t *testing.T) {
+	rng := sim.NewRNG(3)
+	q := NewP2Quantile(0.9)
+	for i := 0; i < 50000; i++ {
+		q.Add(rng.Exp(1))
+		if q.n > 5 {
+			for j := 1; j < 5; j++ {
+				if q.heights[j] < q.heights[j-1]-1e-9 {
+					t.Fatalf("marker heights not monotone at n=%d: %v", q.n, q.heights)
+				}
+			}
+		}
+	}
+}
+
+func TestP2EstimateWithinObservedRange(t *testing.T) {
+	rng := sim.NewRNG(4)
+	q := NewP2Quantile(0.95)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10000; i++ {
+		v := rng.Normal(50, 10)
+		q.Add(v)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if got := q.Value(); got < lo || got > hi {
+		t.Errorf("estimate %v outside observed [%v, %v]", got, lo, hi)
+	}
+}
+
+func TestP2InvalidQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

@@ -1,0 +1,253 @@
+// Package stats provides the statistical primitives the evaluation needs:
+// exact quantiles and CDFs for latency distributions (Fig. 10), streaming
+// mean/variance (Welford), EWMA load estimation for the controller, and
+// simple histograms for reporting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects observations and answers quantile/CDF queries exactly.
+// Observations are kept unsorted until a query arrives; queries sort
+// lazily and cache until the next Add.
+type Sample struct {
+	data   []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample, optionally pre-sized.
+func NewSample(capacity int) *Sample {
+	return &Sample{data: make([]float64, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.data = append(s.data, v)
+	s.sorted = false
+}
+
+// AddAll records a batch of observations.
+func (s *Sample) AddAll(vs []float64) {
+	s.data = append(s.data, vs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.data) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.data)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between closest ranks. It panics on an empty sample or q outside [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.data) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s.ensureSorted()
+	if len(s.data) == 1 {
+		return s.data[0]
+	}
+	pos := q * float64(len(s.data)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.data[lo]
+	}
+	frac := pos - float64(lo)
+	return s.data[lo]*(1-frac) + s.data[hi]*frac
+}
+
+// P95 is shorthand for the 95th percentile, the paper's QoS metric.
+func (s *Sample) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is shorthand for the 99th percentile.
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Mean returns the arithmetic mean. It panics on an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.data) == 0 {
+		panic("stats: Mean of empty sample")
+	}
+	sum := 0.0
+	for _, v := range s.data {
+		sum += v
+	}
+	return sum / float64(len(s.data))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.data) == 0 {
+		panic("stats: Min of empty sample")
+	}
+	s.ensureSorted()
+	return s.data[0]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.data) == 0 {
+		panic("stats: Max of empty sample")
+	}
+	s.ensureSorted()
+	return s.data[len(s.data)-1]
+}
+
+// FractionBelow returns the empirical CDF at x: the fraction of
+// observations <= x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.data) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	idx := sort.SearchFloat64s(s.data, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(s.data))
+}
+
+// CDF returns (x, F(x)) pairs evaluated at n evenly spaced points between
+// min and max, suitable for plotting Fig. 10-style curves.
+func (s *Sample) CDF(n int) (xs, fs []float64) {
+	if len(s.data) == 0 || n < 2 {
+		return nil, nil
+	}
+	s.ensureSorted()
+	lo, hi := s.data[0], s.data[len(s.data)-1]
+	xs = make([]float64, n)
+	fs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		fs[i] = s.FractionBelow(x)
+	}
+	return xs, fs
+}
+
+// Values returns a sorted copy of the observations.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	out := make([]float64, len(s.data))
+	copy(out, s.data)
+	return out
+}
+
+// Welford computes streaming mean and variance in one pass without storing
+// observations.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(v float64) {
+	w.n++
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// EWMA is an exponentially weighted moving average; the controller uses it
+// to estimate the instantaneous query arrival rate λ.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha tracks changes faster.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds one observation into the average and returns the new value.
+func (e *EWMA) Update(v float64) float64 {
+	if !e.init {
+		e.value, e.init = v, true
+	} else {
+		e.value = e.alpha*v + (1-e.alpha)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current average (0 before the first update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation was folded in.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Histogram counts observations in fixed-width bins over [lo, hi);
+// out-of-range observations land in clamped edge bins.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.total++
+}
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + w*(float64(i)+0.5)
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleQuantileKnown(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.95, 95.05}, {0.25, 25.75},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	s := NewSample(0)
+	s.Add(7)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) of singleton = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestSampleEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile on empty sample did not panic")
+		}
+	}()
+	NewSample(0).Quantile(0.5)
+}
+
+func TestSampleQuantileOutOfRangePanics(t *testing.T) {
+	s := NewSample(0)
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(1.5) did not panic")
+		}
+	}()
+	s.Quantile(1.5)
+}
+
+func TestSampleMinMaxMean(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{5, 1, 9, 3})
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 4.5 {
+		t.Errorf("Mean = %v, want 4.5", s.Mean())
+	}
+}
+
+func TestSampleFractionBelow(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := s.FractionBelow(c.x); got != c.want {
+			t.Errorf("FractionBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSampleCDFMonotone(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 500; i++ {
+		s.Add(math.Sin(float64(i)) * 10)
+	}
+	xs, fs := s.CDF(50)
+	if len(xs) != 50 || len(fs) != 50 {
+		t.Fatalf("CDF lengths %d/%d", len(xs), len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] < fs[i-1] {
+			t.Fatalf("CDF not monotone at %d: %v < %v", i, fs[i], fs[i-1])
+		}
+	}
+	if fs[len(fs)-1] != 1 {
+		t.Errorf("CDF endpoint = %v, want 1", fs[len(fs)-1])
+	}
+}
+
+func TestSampleAddAfterQuery(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{3, 1, 2})
+	_ = s.Quantile(0.5)
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Error("Add after query not reflected in Min")
+	}
+}
+
+func TestSampleQuantileProperty(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		q := float64(qRaw) / 255
+		got := s.Quantile(q)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleValuesSortedCopy(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{3, 1, 2})
+	vs := s.Values()
+	if !sort.Float64sAreSorted(vs) {
+		t.Error("Values not sorted")
+	}
+	vs[0] = -100
+	if s.Min() == -100 {
+		t.Error("Values returned internal slice, not a copy")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range data {
+		w.Add(v)
+	}
+	if w.Count() != len(data) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, v := range raw {
+			w.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		ss := 0.0
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		wantVar := ss / float64(len(raw)-1)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Variance()-wantVar) < 1e-4*(1+wantVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EWMA reports initialized")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Errorf("first update = %v, want 10", e.Value())
+	}
+	e.Update(20)
+	if e.Value() != 15 {
+		t.Errorf("second update = %v, want 15", e.Value())
+	}
+	e.Update(20)
+	if e.Value() != 17.5 {
+		t.Errorf("third update = %v, want 17.5", e.Value())
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 200; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Errorf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 5, 7, 9, -1, 100} {
+		h.Add(v)
+	}
+	counts := h.Counts()
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	// -1 clamps into bin 0, 100 clamps into bin 4.
+	if counts[0] != 3 { // 0.5, 1, -1
+		t.Errorf("bin 0 = %d, want 3", counts[0])
+	}
+	if counts[4] != 2 { // 9, 100
+		t.Errorf("bin 4 = %d, want 2", counts[4])
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", c)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}

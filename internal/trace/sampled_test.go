@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampledInterpolation(t *testing.T) {
+	s, err := NewSampled([]float64{0, 10, 20}, []float64{0, 100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {10, 100}, {20, 50}, {5, 50}, {15, 75},
+		{-5, 0}, {100, 50}, // clamped outside the range
+	}
+	for _, c := range cases {
+		if got := s.Rate(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if s.Peak() != 100 {
+		t.Errorf("Peak = %v, want 100", s.Peak())
+	}
+	if from, to := s.Span(); from != 0 || to != 20 {
+		t.Errorf("Span = %v..%v", from, to)
+	}
+}
+
+func TestSampledValidation(t *testing.T) {
+	if _, err := NewSampled([]float64{0}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := NewSampled([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := NewSampled([]float64{0, 1}, []float64{1, -2}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewSampled([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSampledRateWithinEnvelope(t *testing.T) {
+	s, _ := NewSampled([]float64{0, 5, 10, 15}, []float64{10, 80, 30, 60})
+	f := func(raw uint16) bool {
+		tt := float64(raw) / 65535 * 20
+		r := s.Rate(tt)
+		return r >= 10-1e-9 && r <= s.Peak()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	csv := `# Didi-shaped replay, one sample per 10 minutes
+time_s,qps
+0, 12
+600, 48.5
+1200, 80
+1800, 30
+`
+	s, err := LoadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("parsed %d samples, want 4", s.Len())
+	}
+	if s.Rate(600) != 48.5 {
+		t.Errorf("Rate(600) = %v", s.Rate(600))
+	}
+	if s.Peak() != 80 {
+		t.Errorf("Peak = %v", s.Peak())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"three columns": "0,1,2\n1,2,3\n",
+		"bad number":    "0,1\nxx,yy\n",
+		"too short":     "0,5\n",
+	}
+	for name, csv := range cases {
+		if _, err := LoadCSV(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestResampleApproximatesDiurnal(t *testing.T) {
+	d := NewDiurnal(100, 20, 3600, 1)
+	s := Resample(d, 0, 3600, 720)
+	// Dense resampling must track the original closely.
+	for _, tt := range []float64{0, 450, 900, 1800, 2700, 3599} {
+		orig, got := d.Rate(tt), s.Rate(tt)
+		if math.Abs(orig-got) > 0.05*(orig+1) {
+			t.Errorf("Resample diverges at t=%v: %v vs %v", tt, got, orig)
+		}
+	}
+	if s.Peak() > d.Peak()+1e-9 {
+		t.Errorf("resampled peak %v above original bound %v", s.Peak(), d.Peak())
+	}
+}
+
+func TestResampleInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid resample window did not panic")
+		}
+	}()
+	Resample(Constant{QPS: 1}, 10, 10, 5)
+}

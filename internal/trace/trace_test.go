@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{QPS: 5}
+	if c.Rate(0) != 5 || c.Rate(1e6) != 5 || c.Peak() != 5 {
+		t.Error("constant trace not constant")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{Before: 2, After: 8, At: 100}
+	if s.Rate(99) != 2 || s.Rate(100) != 8 {
+		t.Error("step trace wrong around boundary")
+	}
+	if s.Peak() != 8 {
+		t.Errorf("peak = %v, want 8", s.Peak())
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	const day = 86400.0
+	d := NewDiurnal(100, 20, day, 1)
+
+	// The trough must occur near midnight and be well below the peak.
+	night := d.Rate(0.02 * day)
+	noon := d.Rate(d.MorningPeak * day)
+	if night >= noon {
+		t.Fatalf("night rate %v >= rush-hour rate %v", night, noon)
+	}
+	// Paper: low load below ~30%% of peak.
+	min, max := math.Inf(1), 0.0
+	for i := 0; i < 5000; i++ {
+		r := d.Rate(float64(i) / 5000 * day)
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if min/max > 0.35 {
+		t.Errorf("trough/peak = %.2f, want < 0.35 (diurnal pattern)", min/max)
+	}
+	if max > d.Peak()+1e-9 {
+		t.Errorf("observed max %v exceeds Peak() bound %v", max, d.Peak())
+	}
+	if max < 85 || max > 115 {
+		t.Errorf("observed peak %v far from configured 100", max)
+	}
+}
+
+func TestDiurnalNonNegativeAndPeriodic(t *testing.T) {
+	d := NewDiurnal(50, 10, 3600, 7)
+	for i := 0; i < 3000; i++ {
+		tt := float64(i) * 3.7
+		r := d.Rate(tt)
+		if r < 0 {
+			t.Fatalf("negative rate %v at t=%v", r, tt)
+		}
+		if r2 := d.Rate(tt + 3600); math.Abs(r-r2) > 1e-9 {
+			t.Fatalf("trace not periodic: %v vs %v", r, r2)
+		}
+	}
+}
+
+func TestDiurnalDeterministicPerSeed(t *testing.T) {
+	a := NewDiurnal(100, 20, 86400, 5)
+	b := NewDiurnal(100, 20, 86400, 5)
+	c := NewDiurnal(100, 20, 86400, 6)
+	differ := false
+	for i := 0; i < 100; i++ {
+		tt := float64(i) * 777
+		if a.Rate(tt) != b.Rate(tt) {
+			t.Fatalf("same-seed traces differ at t=%v", tt)
+		}
+		if a.Rate(tt) != c.Rate(tt) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestDiurnalInvalidPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDiurnal(0, 0, 100, 1) },
+		func() { NewDiurnal(10, 10, 100, 1) }, // trough >= peak
+		func() { NewDiurnal(10, 1, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Inner: Constant{QPS: 4}, Factor: 2.5}
+	if s.Rate(0) != 10 || s.Peak() != 10 {
+		t.Error("scaled trace wrong")
+	}
+}
+
+func TestBurst(t *testing.T) {
+	b := Burst{Inner: Constant{QPS: 3}, Extra: 7, From: 10, To: 20}
+	if b.Rate(5) != 3 || b.Rate(15) != 10 || b.Rate(20) != 3 {
+		t.Error("burst trace wrong")
+	}
+	if b.Peak() != 10 {
+		t.Errorf("burst peak = %v, want 10", b.Peak())
+	}
+}
