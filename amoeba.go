@@ -156,6 +156,7 @@ func DefaultScenarioOptions() ScenarioOptions {
 // NewScenario builds the paper's standard single-benchmark scenario: the
 // benchmark under a diurnal load, optionally with the three background
 // tenants sharing the serverless pool.
+// It panics if the options specify a non-positive horizon.
 func NewScenario(v Variant, prof Benchmark, opts ScenarioOptions) Scenario {
 	if opts.DayLength <= 0 || opts.Days <= 0 {
 		panic("amoeba: non-positive scenario horizon")

@@ -297,7 +297,10 @@ func BenchmarkAblationWeights(b *testing.B) {
 	prof := workload.DD()
 	slCfg := serverless.DefaultConfig()
 	set := core.SurfaceSet(prof, slCfg)
-	pred := controller.NewPredictor(prof, set, 10, 0.95)
+	pred, err := controller.NewPredictor(prof, set, 10, 0.95)
+	if err != nil {
+		b.Fatal(err)
+	}
 	learned := monitor.Weights{W: [3]float64{0.3, 0.8, 0.1}, Learned: true}
 	pressure := [3]float64{0.2, 0.3, 0.1}
 	var admW0, admL float64

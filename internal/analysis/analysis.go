@@ -1,0 +1,224 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis. The repository's determinism
+// and concurrency invariants are machine-checked by analyzers built on it
+// (see the sibling packages nodeterminism, seedflow, paniccheck, and
+// lockcheck) and run by cmd/amoeba-vet.
+//
+// The framework exists because the reproduction must stay buildable from
+// the standard library alone: the x/tools module is not vendored, so the
+// Analyzer/Pass/Diagnostic surface is re-implemented here on go/ast,
+// go/parser, and go/types. The shape is kept deliberately close to
+// x/tools so analyzers could migrate with little churn if the dependency
+// ever becomes available.
+//
+// # Suppressing findings
+//
+// A finding can be suppressed with an annotation comment on the same line
+// or the line directly above the flagged site:
+//
+//	//amoeba:allow <analyzer> <reason>
+//
+// e.g. //amoeba:allow paniccheck index verified by caller. The reason is
+// mandatory by convention (amoeba-vet does not enforce it) so that every
+// suppression documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //amoeba:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the file set of the pass
+// that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// collects the diagnostics it reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags  []Diagnostic
+	allows map[string]map[int][]string // filename -> line -> allowed analyzer names
+}
+
+// Reportf records a finding at pos unless an //amoeba:allow annotation
+// covering pos names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position, p.Analyzer.Name) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllowedAt reports whether an //amoeba:allow annotation naming name (or
+// "all") covers pos. Analyzers that accept alternative annotation names
+// (paniccheck also honours //amoeba:allow panic) can query extra names
+// before reporting.
+func (p *Pass) AllowedAt(pos token.Pos, name string) bool {
+	return p.allowedAt(p.Fset.Position(pos), name)
+}
+
+func (p *Pass) allowedAt(pos token.Position, name string) bool {
+	if p.allows == nil {
+		p.allows = make(map[string]map[int][]string)
+		for _, f := range p.Files {
+			fname := p.Fset.Position(f.Pos()).Filename
+			lines := make(map[int][]string)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					// The annotation covers its own line (trailing
+					// comment) and the next line (comment-above form).
+					line := p.Fset.Position(c.Pos()).Line
+					lines[line] = append(lines[line], names...)
+					lines[line+1] = append(lines[line+1], names...)
+				}
+			}
+			p.allows[fname] = lines
+		}
+	}
+	for _, n := range p.allows[pos.Filename][pos.Line] {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow extracts the analyzer name from an //amoeba:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//amoeba:allow")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return fields[:1], true
+}
+
+// Diagnostics returns the findings reported so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sortDiagnostics(p.diags)
+	return p.diags
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// IsNamed reports whether t (after unwrapping aliases) is the named type
+// pkgSuffix.name, where pkgSuffix is matched against the end of the
+// defining package's import path (so "internal/sim".RNG matches both the
+// real module path and analyzer-test stubs).
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// PkgFunc resolves a call expression to a package-level function and
+// returns its package path and name ("", "" when the callee is anything
+// else: a method, builtin, conversion, or local closure).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if _, ok := info.Uses[id].(*types.PkgName); !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// Method resolves a call expression to a method and returns the defining
+// package path, receiver type name, and method name ("", "", "" for
+// non-method callees). Promoted methods resolve to the embedded type that
+// declares them, so a Lock call through an embedded sync.Mutex still
+// reports ("sync", "Mutex", "Lock").
+func Method(info *types.Info, call *ast.CallExpr) (pkgPath, recvType, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", ""
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := types.Unalias(rt).(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := types.Unalias(rt).(*types.Named)
+	if !ok {
+		return "", "", ""
+	}
+	return fn.Pkg().Path(), named.Obj().Name(), fn.Name()
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata trees
+// and checks its diagnostics against `// want "regex"` expectations, in
+// the manner of golang.org/x/tools/go/analysis/analysistest.
+//
+// A test package lives at <testdata>/src/<importpath>/; its imports
+// resolve inside the same tree first (so tests can stub module packages
+// such as amoeba/internal/sim) and fall back to the standard library. An
+// expectation comment applies to the line it appears on:
+//
+//	r := sim.RNG{} // want `composite literal`
+//
+// Each reported diagnostic must match a want-regex on its line and each
+// want must be matched by exactly one diagnostic; anything else fails the
+// test with positions.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"amoeba/internal/analysis"
+)
+
+// Run applies one analyzer to each named package under testdata/src and
+// checks the diagnostics against the packages' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, loader, pkg, pass.Diagnostics())
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, loader, pkg.Files)
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+		} else {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func matchWant(wants []*want, d analysis.Diagnostic) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+func collectWants(t *testing.T, loader *analysis.Loader, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := loader.Fset.Position(c.Pos())
+				ws, err := parseWants(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pos, err)
+				}
+				for _, raw := range ws {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWants extracts the quoted regexps from a `// want "a" "b"` or
+// `// want `+"`a`"+“ comment.
+func parseWants(text string) ([]string, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var quote byte = rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want operand must be quoted: %s", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want operand: %s", rest)
+		}
+		lit := rest[:end+2]
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want operand %s: %v", lit, err)
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return out, nil
+}

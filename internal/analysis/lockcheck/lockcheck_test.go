@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockuser")
+}

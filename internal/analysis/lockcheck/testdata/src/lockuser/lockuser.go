@@ -1,0 +1,83 @@
+// Package lockuser exercises lockcheck: mutexes held across channel
+// sends, WaitGroup waits, and goroutine spawns are flagged; released or
+// annotated sites are not.
+package lockuser
+
+import "sync"
+
+// T bundles the synchronisation fixtures.
+type T struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// SendHeld sends while holding the mutex.
+func (t *T) SendHeld() {
+	t.mu.Lock()
+	t.ch <- 1 // want `channel send while holding t\.mu`
+	t.mu.Unlock()
+}
+
+// SendReleased releases before sending and stays legal.
+func (t *T) SendReleased() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.ch <- 1
+}
+
+// WaitUnderDefer holds via a deferred unlock across a WaitGroup wait.
+func (t *T) WaitUnderDefer() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wg.Wait() // want `WaitGroup\.Wait while holding t\.mu`
+}
+
+// SpawnHeld spawns a goroutine while holding a read lock.
+func (t *T) SpawnHeld() {
+	t.rw.RLock()
+	go t.drain() // want `goroutine spawn while holding t\.rw`
+	t.rw.RUnlock()
+}
+
+// SpawnReleased spawns after releasing; the spawned body sends without
+// the spawner's lock and is scanned independently.
+func (t *T) SpawnReleased() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	go func() {
+		t.ch <- 1
+	}()
+}
+
+// BranchRelease releases on the fall-through path before sending.
+func (t *T) BranchRelease(b bool) {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.ch <- 1
+}
+
+// SelectSendHeld sends from a select arm under the lock.
+func (t *T) SelectSendHeld(stop chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case t.ch <- 1: // want `channel send while holding t\.mu`
+	case <-stop:
+	}
+}
+
+// Annotated documents a deliberate held-across-send design.
+func (t *T) Annotated() {
+	t.mu.Lock()
+	//amoeba:allow lockcheck buffered channel drained by this goroutine
+	t.ch <- 1
+	t.mu.Unlock()
+}
+
+func (t *T) drain() { <-t.ch }

@@ -1,0 +1,73 @@
+// Package nodeterminism forbids wall-clock and global-randomness calls in
+// simulation code. The whole reproduction rests on bit-for-bit replay: the
+// M/M/N discriminant, the PCA-calibrated pressure model, and every figure
+// must produce identical numbers across runs and machines, so simulation
+// packages must draw time from sim.Clock virtual time and randomness from
+// an explicitly seeded sim.RNG. One stray time.Now() or rand.Intn() makes
+// runs diverge silently — exactly the calibration-drift failure this
+// analyzer exists to catch before it lands.
+//
+// Binaries (package main, e.g. cmd/ and examples/) may use the wall clock
+// for progress reporting; they are exempt. Library code that legitimately
+// needs wall time (none today) must carry an //amoeba:allow nodeterminism
+// annotation with a reason.
+package nodeterminism
+
+import (
+	"go/ast"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer flags nondeterministic time and randomness sources in
+// simulation (non-main) packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid time.Now, time.Since, and math/rand globals in simulation packages; " +
+		"simulations must use sim virtual time and seeded sim.RNG streams",
+	Run: run,
+}
+
+// forbiddenTime lists the time functions that read or depend on the wall
+// clock. Pure constructors/parsers (time.Duration, time.Parse, ...) are
+// deterministic and stay allowed.
+var forbiddenTime = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "fires on the wall clock",
+	"Tick":      "fires on the wall clock",
+	"NewTimer":  "fires on the wall clock",
+	"NewTicker": "fires on the wall clock",
+	"AfterFunc": "fires on the wall clock",
+}
+
+func run(pass *analysis.Pass) error {
+	// Binaries may time and report on the wall clock.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := analysis.PkgFunc(pass.TypesInfo, call)
+			switch pkgPath {
+			case "time":
+				if why, bad := forbiddenTime[name]; bad {
+					pass.Reportf(call.Pos(),
+						"time.%s %s: simulation code must use sim virtual time", name, why)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"%s.%s uses global random state: simulation code must draw from a seeded sim.RNG",
+					pkgPath, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/nodeterminism"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer, "simlib", "cmd/tool")
+}

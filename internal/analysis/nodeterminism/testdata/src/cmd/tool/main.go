@@ -1,0 +1,13 @@
+// Command tool is a mock binary: package main may use the wall clock for
+// progress reporting, so nothing here is flagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

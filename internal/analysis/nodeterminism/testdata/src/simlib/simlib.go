@@ -1,0 +1,44 @@
+// Package simlib is a mock simulation library package: nodeterminism
+// findings here must flag every wall-clock and global-rand call site.
+package simlib
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall reads the wall clock directly.
+func Wall() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed measures wall time.
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// Nap blocks on the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+}
+
+// Draw uses the global math/rand stream.
+func Draw() int {
+	return rand.Intn(6) // want `math/rand\.Intn uses global random state`
+}
+
+// Shuffled uses another global math/rand helper.
+func Shuffled() float64 {
+	return rand.Float64() // want `math/rand\.Float64 uses global random state`
+}
+
+// Allowed demonstrates the annotation escape hatch.
+func Allowed() time.Time {
+	//amoeba:allow nodeterminism startup banner timing only
+	return time.Now()
+}
+
+// Pure uses only deterministic time arithmetic and stays legal.
+func Pure(d time.Duration) time.Duration {
+	return 3*time.Second + d
+}

@@ -1,0 +1,12 @@
+package paniccheck_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/paniccheck"
+)
+
+func TestPanicCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", paniccheck.Analyzer, "panicuser", "panicmain")
+}

@@ -1,0 +1,7 @@
+// Command panicmain shows that binaries may panic freely: an aborted run
+// is visible to the operator and loses only that run.
+package main
+
+func main() {
+	panic("binaries may panic")
+}

@@ -1,0 +1,71 @@
+// Package panicuser exercises the paniccheck contract: undocumented
+// library panics are flagged; documented contracts, annotated invariants,
+// and returned errors are not.
+package panicuser
+
+import "errors"
+
+// Documented panics if n is negative — the doc comment makes the panic a
+// stated contract, so the site is legal.
+func Documented(n int) int {
+	if n < 0 {
+		panic("panicuser: negative n")
+	}
+	return n
+}
+
+// Undocumented doubles n.
+func Undocumented(n int) int {
+	if n < 0 {
+		panic("panicuser: negative n") // want `panic in library code`
+	}
+	return 2 * n
+}
+
+// Annotated halves n; the invariant is suppressed with the ISSUE
+// spelling of the annotation.
+func Annotated(n int) int {
+	if n%2 != 0 {
+		//amoeba:allow panic caller guarantees even n
+		panic("panicuser: odd n")
+	}
+	return n / 2
+}
+
+// AnnotatedByName suppresses with the analyzer name instead.
+func AnnotatedByName(n int) int {
+	if n < 0 {
+		//amoeba:allow paniccheck fixture invariant
+		panic("panicuser: negative n")
+	}
+	return n
+}
+
+// AsError validates and returns an error like library code should.
+func AsError(n int) error {
+	if n < 0 {
+		return errors.New("panicuser: negative n")
+	}
+	return nil
+}
+
+// InClosure panics if the table is empty — the documented contract covers
+// panics inside nested function literals too.
+func InClosure(xs []int) func() int {
+	return func() int {
+		if len(xs) == 0 {
+			panic("panicuser: empty table")
+		}
+		return xs[0]
+	}
+}
+
+// UndocumentedClosure builds an accessor.
+func UndocumentedClosure(xs []int) func() int {
+	return func() int {
+		if len(xs) == 0 {
+			panic("panicuser: empty table") // want `panic in library code`
+		}
+		return xs[0]
+	}
+}

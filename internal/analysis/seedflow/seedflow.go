@@ -1,0 +1,243 @@
+// Package seedflow enforces the provenance and ownership discipline of
+// sim.RNG streams. Determinism needs more than banning the wall clock
+// (that is nodeterminism's job): every random stream must (1) originate
+// from an explicit seed via sim.NewRNG or be derived with Split, so runs
+// are replayable from their seeds alone; (2) never be copied by value,
+// because two copies of the state replay the same stream and silently
+// correlate "independent" stochastic processes; and (3) never be shared
+// with a goroutine, because interleaved draws make the stream depend on
+// the scheduler. The fix for (3) is always the same: hand the goroutine
+// its own Split() child before spawning.
+//
+// The sim package itself is exempt (it defines the constructors). Other
+// exceptions need an //amoeba:allow seedflow annotation with a reason.
+package seedflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer enforces seed provenance, no-copy, and no-sharing of sim.RNG.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "sim.RNG must originate from NewRNG/Split, must not be copied by value, " +
+		"and must not be shared with goroutines (derive a Split() child instead)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The sim package defines RNG and its constructors; the rules
+	// govern everyone else.
+	if p := pass.Pkg.Path(); p == "internal/sim" || strings.HasSuffix(p, "/internal/sim") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkConstruction(pass, f)
+		checkValueDecls(pass, f)
+	}
+	checkGoroutines(pass)
+	return nil
+}
+
+func isRNG(t types.Type) bool { return analysis.IsNamed(t, "internal/sim", "RNG") }
+
+func isRNGPtr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	return ok && isRNG(ptr.Elem())
+}
+
+// checkConstruction flags RNG values materialised without a seed:
+// composite literals and new(sim.RNG) start from zero state, so their
+// streams are not tied to any recorded seed.
+func checkConstruction(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if t, ok := pass.TypesInfo.Types[n]; ok && isRNG(t.Type) {
+				pass.Reportf(n.Pos(),
+					"sim.RNG composite literal: streams must originate from sim.NewRNG(seed) or Split()")
+			}
+		case *ast.CallExpr:
+			if b, ok := pass.TypesInfo.Uses[calleeIdent(n)].(*types.Builtin); ok && b.Name() == "new" && len(n.Args) == 1 {
+				if t, ok := pass.TypesInfo.Types[n.Args[0]]; ok && isRNG(t.Type) {
+					pass.Reportf(n.Pos(),
+						"new(sim.RNG) starts from zero state: use sim.NewRNG(seed) or Split()")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := call.Fun.(*ast.Ident)
+	return id
+}
+
+// checkValueDecls flags every variable, field, parameter, or result
+// declared with type sim.RNG (by value): using the value type copies the
+// generator state at every assignment and call.
+func checkValueDecls(pass *analysis.Pass, f *ast.File) {
+	// Named declarations (vars, params, named results, struct fields,
+	// short variable declarations) all define idents.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Defs[n].(*types.Var); ok && isRNG(v.Type()) {
+				pass.Reportf(n.Pos(),
+					"%s declared with value type sim.RNG: copies duplicate the stream — use *sim.RNG", n.Name)
+			}
+		case *ast.Field:
+			// Anonymous parameters/results have no defining ident.
+			if len(n.Names) == 0 {
+				if t, ok := pass.TypesInfo.Types[n.Type]; ok && isRNG(t.Type) {
+					pass.Reportf(n.Pos(),
+						"value type sim.RNG in signature: copies duplicate the stream — use *sim.RNG")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroutines flags RNGs that are visible to more than one goroutine:
+// an RNG captured or passed into a `go` statement may only be a dedicated
+// child (declared locally, handed to exactly one goroutine, not reused by
+// the parent).
+func checkGoroutines(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncGoroutines(pass, fd)
+		}
+	}
+}
+
+func checkFuncGoroutines(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// All uses of each RNG-typed object anywhere in the declaration.
+	rngUses := make(map[*types.Var][]*ast.Ident)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && (isRNGPtr(v.Type()) || isRNG(v.Type())) {
+			rngUses[v] = append(rngUses[v], id)
+		}
+		return true
+	})
+	if len(rngUses) == 0 {
+		return
+	}
+
+	// Loop bodies, for the "one literal, many goroutines" case.
+	var loops []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	inLoopWithout := func(pos, declPos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos < l.End() && !(l.Pos() <= declPos && declPos < l.End()) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			checkGoLiteral(pass, fd, g, lit, rngUses, inLoopWithout)
+			return true
+		}
+		// go f(..., rng, ...): the parent (or its caller) still holds the
+		// same RNG, so the stream now has two concurrent owners.
+		for _, arg := range g.Call.Args {
+			if t, ok := pass.TypesInfo.Types[arg]; ok && (isRNGPtr(t.Type) || isRNG(t.Type)) {
+				if isPlainRef(arg) {
+					pass.Reportf(arg.Pos(),
+						"RNG handed to goroutine is still reachable here: pass a Split() child instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPlainRef reports whether expr is a bare variable or field reference —
+// passing rng.Split() (a call) is the sanctioned pattern and stays legal.
+func isPlainRef(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isPlainRef(e.X)
+	case *ast.StarExpr:
+		return isPlainRef(e.X)
+	}
+	return false
+}
+
+func checkGoLiteral(pass *analysis.Pass, fd *ast.FuncDecl, g *ast.GoStmt, lit *ast.FuncLit,
+	rngUses map[*types.Var][]*ast.Ident, inLoopWithout func(pos, declPos token.Pos) bool) {
+
+	for v, uses := range rngUses {
+		var inside, outside int
+		for _, id := range uses {
+			if lit.Pos() <= id.Pos() && id.Pos() < lit.End() {
+				inside++
+			} else {
+				outside++
+			}
+		}
+		if inside == 0 {
+			continue
+		}
+		declPos := v.Pos()
+		if lit.Pos() <= declPos && declPos < lit.End() {
+			continue // the goroutine's own local or parameter
+		}
+		switch {
+		case v.IsField() || v.Parent() == pass.Pkg.Scope():
+			pass.Reportf(firstInside(uses, lit).Pos(),
+				"%s is a shared RNG captured by a goroutine: derive a child with Split() before spawning", v.Name())
+		case declPos < fd.Body.Pos():
+			// Parameter of the enclosing function: the caller keeps a
+			// live handle to the same stream.
+			pass.Reportf(firstInside(uses, lit).Pos(),
+				"parameter %s captured by goroutine shares the caller's RNG: pass a Split() child", v.Name())
+		case inLoopWithout(g.Pos(), declPos):
+			pass.Reportf(firstInside(uses, lit).Pos(),
+				"%s is captured by goroutines spawned in a loop: every iteration shares one stream — Split() per iteration", v.Name())
+		case outside > 0:
+			pass.Reportf(firstInside(uses, lit).Pos(),
+				"%s is used both here and by the spawning function: concurrent draws race — hand the goroutine a Split() child", v.Name())
+		}
+	}
+}
+
+func firstInside(uses []*ast.Ident, lit *ast.FuncLit) *ast.Ident {
+	for _, id := range uses {
+		if lit.Pos() <= id.Pos() && id.Pos() < lit.End() {
+			return id
+		}
+	}
+	return uses[0]
+}

@@ -1,0 +1,14 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/seedflow"
+)
+
+func TestSeedFlow(t *testing.T) {
+	// The sim stub is analyzed too: its own composite literals are the
+	// constructor and must be exempt.
+	analysistest.Run(t, "testdata", seedflow.Analyzer, "seeduser", "amoeba/internal/sim")
+}

@@ -1,0 +1,23 @@
+// Package sim is a stub of the real amoeba/internal/sim for seedflow
+// tests: the analyzer matches the RNG type by package-path suffix, and
+// the sim package itself is exempt from the rules (NewRNG's composite
+// literal below must not be flagged).
+package sim
+
+// RNG is a deterministic generator (stub).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent child generator.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64()} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }

@@ -1,0 +1,132 @@
+// Package seeduser exercises every seedflow rule: unseeded construction,
+// value-type copies, and RNG streams shared with goroutines.
+package seeduser
+
+import (
+	"sync"
+
+	"amoeba/internal/sim"
+)
+
+// global is package-level state: goroutines capturing it share a stream.
+var global = sim.NewRNG(7)
+
+// Holder embeds an RNG handle.
+type Holder struct {
+	R *sim.RNG
+}
+
+// BadValueField declares an RNG by value.
+type BadValueField struct {
+	R sim.RNG // want `R declared with value type sim\.RNG`
+}
+
+// Construction provenance -------------------------------------------------
+
+// FromLiteral materialises an unseeded stream.
+func FromLiteral() {
+	_ = sim.RNG{} // want `composite literal: streams must originate from sim\.NewRNG`
+}
+
+// FromNew materialises a zero-state stream.
+func FromNew() *sim.RNG {
+	return new(sim.RNG) // want `new\(sim\.RNG\) starts from zero state`
+}
+
+// FromSeed is the sanctioned construction and stays legal.
+func FromSeed() *sim.RNG {
+	return sim.NewRNG(42)
+}
+
+// AllowedLiteral demonstrates the annotation escape hatch.
+func AllowedLiteral() {
+	//amoeba:allow seedflow zero stream is intentional in this fixture
+	_ = sim.RNG{}
+}
+
+// Value copies ------------------------------------------------------------
+
+// CopyParam receives the generator by value.
+func CopyParam(r sim.RNG) uint64 { // want `r declared with value type sim\.RNG`
+	return r.Uint64()
+}
+
+// CopyResult returns the generator by value through an anonymous result.
+func CopyResult(r *sim.RNG) sim.RNG { // want `value type sim\.RNG in signature`
+	return *r
+}
+
+// CopyLocal snapshots the stream into a local.
+func CopyLocal(r *sim.RNG) uint64 {
+	c := *r // want `c declared with value type sim\.RNG`
+	return c.Uint64()
+}
+
+// Goroutine sharing -------------------------------------------------------
+
+// ShareGlobal captures the package-level stream.
+func ShareGlobal(done chan struct{}) {
+	go func() {
+		global.Uint64() // want `global is a shared RNG captured by a goroutine`
+		close(done)
+	}()
+}
+
+// ShareField captures a stream reachable through a field.
+func ShareField(h *Holder, done chan struct{}) {
+	go func() {
+		h.R.Uint64() // want `R is a shared RNG captured by a goroutine`
+		close(done)
+	}()
+}
+
+// ShareParam captures the caller's stream.
+func ShareParam(r *sim.RNG, done chan struct{}) {
+	go func() {
+		r.Uint64() // want `parameter r captured by goroutine shares the caller's RNG`
+		close(done)
+	}()
+}
+
+// ShareLoop spawns many goroutines over one stream.
+func ShareLoop(wg *sync.WaitGroup) {
+	r := sim.NewRNG(1)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Uint64() // want `r is captured by goroutines spawned in a loop`
+		}()
+	}
+}
+
+// ShareBothSides draws concurrently from the spawner and the goroutine.
+func ShareBothSides(done chan struct{}) {
+	r := sim.NewRNG(1)
+	go func() {
+		r.Uint64() // want `r is used both here and by the spawning function`
+		close(done)
+	}()
+	r.Uint64()
+	<-done
+}
+
+// HandOff passes a live handle into a spawned function.
+func HandOff(r *sim.RNG, done chan struct{}) {
+	go drain(r, done) // want `RNG handed to goroutine is still reachable here`
+}
+
+// Dedicated hands each goroutine its own Split child and stays legal.
+func Dedicated(r *sim.RNG, done chan struct{}) {
+	child := r.Split()
+	go func() {
+		child.Uint64()
+		close(done)
+	}()
+	go drain(r.Split(), done)
+}
+
+func drain(r *sim.RNG, done chan struct{}) {
+	r.Uint64()
+	<-done
+}

@@ -88,6 +88,7 @@ type Autoscaler struct {
 
 // New creates an autoscaler for a service already deployed on the
 // platform (typically via DeployWithVMs at MinVMs).
+// It panics if the config fails validation.
 func New(s *sim.Simulator, vms *iaas.Platform, prof workload.Profile, cfg Config) *Autoscaler {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -102,7 +103,7 @@ func New(s *sim.Simulator, vms *iaas.Platform, prof workload.Profile, cfg Config
 	}
 }
 
-// Start begins the evaluation loop.
+// Start begins the evaluation loop. It panics if called twice.
 func (a *Autoscaler) Start() {
 	if a.stop != nil {
 		panic("autoscale: Start called twice")

@@ -138,6 +138,7 @@ type Pressure struct {
 
 // Get returns the component for the given meter resource index
 // (0 = CPU, 1 = IO, 2 = Net), matching the L₁..L₃ ordering of Eq. 6.
+// It panics if the index is outside [0, NumMeterResources).
 func (p Pressure) Get(i int) float64 {
 	switch i {
 	case 0:
@@ -179,6 +180,9 @@ func (m *Model) AdditiveSlowdown(p Pressure, s Sensitivity) float64 {
 	return 1 + e[0] + e[1] + e[2]
 }
 
+// qNorm computes the q-norm of xs. It panics if the exponent is
+// non-positive or any degradation term is negative — both indicate a
+// corrupted Model, not bad user input.
 func qNorm(xs []float64, q float64) float64 {
 	if q <= 0 {
 		panic(fmt.Sprintf("contention: invalid norm exponent %v", q))

@@ -28,27 +28,30 @@ type Predictor struct {
 	Quantile float64
 }
 
-// NewPredictor builds a predictor; panics on malformed inputs.
-func NewPredictor(prof workload.Profile, set *surfaces.Set, nMax int, quantile float64) *Predictor {
+// NewPredictor builds a predictor, validating the profile, surfaces, and
+// discriminant parameters — all of which trace back to user-supplied
+// scenario configuration, so malformed inputs are reported as errors
+// rather than aborting a whole experiment suite.
+func NewPredictor(prof workload.Profile, set *surfaces.Set, nMax int, quantile float64) (*Predictor, error) {
 	if err := prof.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if set == nil {
-		panic("controller: nil surface set")
+		return nil, fmt.Errorf("controller: nil surface set")
 	}
 	if err := set.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if set.Service != prof.Name {
-		panic(fmt.Sprintf("controller: surfaces for %q used with profile %q", set.Service, prof.Name))
+		return nil, fmt.Errorf("controller: surfaces for %q used with profile %q", set.Service, prof.Name)
 	}
 	if nMax <= 0 {
-		panic("controller: non-positive nMax")
+		return nil, fmt.Errorf("controller: non-positive nMax %d", nMax)
 	}
 	if quantile <= 0 || quantile >= 1 {
-		panic(fmt.Sprintf("controller: quantile %v out of (0,1)", quantile))
+		return nil, fmt.Errorf("controller: quantile %v out of (0,1)", quantile)
 	}
-	return &Predictor{Profile: prof, Surfaces: set, NMax: nMax, Quantile: quantile}
+	return &Predictor{Profile: prof, Surfaces: set, NMax: nMax, Quantile: quantile}, nil
 }
 
 // Features converts a pressure estimate and a load into the degradation
@@ -203,15 +206,16 @@ type Controller struct {
 }
 
 // New creates a controller starting in IaaS mode (the paper's step 1:
-// IaaS by default to guarantee QoS).
-func New(cfg Config, pred *Predictor) *Controller {
+// IaaS by default to guarantee QoS). The configuration is user-supplied,
+// so validation failures are reported as errors.
+func New(cfg Config, pred *Predictor) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if pred == nil {
-		panic("controller: nil predictor")
+		return nil, fmt.Errorf("controller: nil predictor")
 	}
-	return &Controller{cfg: cfg, predictor: pred, mode: metrics.BackendIaaS}
+	return &Controller{cfg: cfg, predictor: pred, mode: metrics.BackendIaaS}, nil
 }
 
 // Predictor exposes the prediction core.

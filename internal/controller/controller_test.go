@@ -36,7 +36,20 @@ func syntheticSet(prof workload.Profile, slopes [3]float64) *surfaces.Set {
 func testPredictor(t *testing.T) *Predictor {
 	t.Helper()
 	prof := workload.Float()
-	return NewPredictor(prof, syntheticSet(prof, [3]float64{0.6, 0.0, 0.1}), 10, 0.95)
+	p, err := NewPredictor(prof, syntheticSet(prof, [3]float64{0.6, 0.0, 0.1}), 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustNew(t *testing.T, cfg Config, pred *Predictor) *Controller {
+	t.Helper()
+	c, err := New(cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 func TestFeaturesFromSurfaces(t *testing.T) {
@@ -119,14 +132,14 @@ func TestClosedFormNearBisection(t *testing.T) {
 }
 
 func TestControllerStartsInIaaS(t *testing.T) {
-	c := New(DefaultConfig(), testPredictor(t))
+	c := mustNew(t, DefaultConfig(), testPredictor(t))
 	if c.Mode() != metrics.BackendIaaS {
 		t.Errorf("initial mode = %v, want iaas (paper step 1)", c.Mode())
 	}
 }
 
 func TestControllerSwitchInAtLowLoad(t *testing.T) {
-	c := New(DefaultConfig(), testPredictor(t))
+	c := mustNew(t, DefaultConfig(), testPredictor(t))
 	c.ObserveLoad(5) // far below λ*
 	d := c.Decide(100, monitor.InitialWeights(), [3]float64{}, [3]float64{0.1, 0, 0})
 	if d.Target != metrics.BackendServerless {
@@ -138,7 +151,7 @@ func TestControllerSwitchInAtLowLoad(t *testing.T) {
 }
 
 func TestControllerSafetyVeto(t *testing.T) {
-	c := New(DefaultConfig(), testPredictor(t))
+	c := mustNew(t, DefaultConfig(), testPredictor(t))
 	c.ObserveLoad(5)
 	// Post-switch pressure above the bound on one dimension: veto.
 	d := c.Decide(100, monitor.InitialWeights(), [3]float64{}, [3]float64{0.1, 0.95, 0})
@@ -151,7 +164,7 @@ func TestControllerSafetyVeto(t *testing.T) {
 }
 
 func TestControllerSwitchOutAtHighLoad(t *testing.T) {
-	c := New(DefaultConfig(), testPredictor(t))
+	c := mustNew(t, DefaultConfig(), testPredictor(t))
 	c.SetMode(metrics.BackendServerless)
 	adm := c.Predictor().AdmissibleLoad(monitor.InitialWeights(), [3]float64{})
 	c.ObserveLoad(adm * 1.2)
@@ -168,12 +181,12 @@ func TestControllerHysteresisBand(t *testing.T) {
 	adm := pred.AdmissibleLoad(monitor.InitialWeights(), [3]float64{})
 	mid := adm * (cfg.SwitchInMargin + cfg.SwitchOutMargin) / 2
 
-	c := New(cfg, pred)
+	c := mustNew(t, cfg, pred)
 	c.ObserveLoad(mid)
 	if d := c.Decide(0, monitor.InitialWeights(), [3]float64{}, [3]float64{}); d.Target != metrics.BackendIaaS {
 		t.Error("switched in inside the hysteresis band")
 	}
-	c2 := New(cfg, pred)
+	c2 := mustNew(t, cfg, pred)
 	c2.SetMode(metrics.BackendServerless)
 	c2.ObserveLoad(mid)
 	if d := c2.Decide(0, monitor.InitialWeights(), [3]float64{}, [3]float64{}); d.Target != metrics.BackendServerless {
@@ -182,7 +195,7 @@ func TestControllerHysteresisBand(t *testing.T) {
 }
 
 func TestObserveLoadEWMA(t *testing.T) {
-	c := New(DefaultConfig(), testPredictor(t))
+	c := mustNew(t, DefaultConfig(), testPredictor(t))
 	c.ObserveLoad(10)
 	if c.Load() != 10 {
 		t.Errorf("first observation = %v, want 10", c.Load())
@@ -195,7 +208,7 @@ func TestObserveLoadEWMA(t *testing.T) {
 }
 
 func TestDecisionsRecorded(t *testing.T) {
-	c := New(DefaultConfig(), testPredictor(t))
+	c := mustNew(t, DefaultConfig(), testPredictor(t))
 	c.ObserveLoad(5)
 	c.Decide(10, monitor.InitialWeights(), [3]float64{}, [3]float64{})
 	c.Decide(20, monitor.InitialWeights(), [3]float64{}, [3]float64{})
@@ -209,7 +222,10 @@ func TestLearnedWeightsRaiseAdmissibleLoad(t *testing.T) {
 	// The ablation's mechanism: sub-additive truth means learned weights
 	// predict less slowdown than w0, so λ(μ_n) is higher and the switch
 	// to serverless happens earlier (Fig. 14's resource savings).
-	p := NewPredictor(workload.DD(), syntheticSet(workload.DD(), [3]float64{0.3, 0.8, 0.1}), 10, 0.95)
+	p, err := NewPredictor(workload.DD(), syntheticSet(workload.DD(), [3]float64{0.3, 0.8, 0.1}), 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pressure := [3]float64{0.5, 0.5, 0.3}
 	w0 := monitor.InitialWeights()
 	learned := monitor.Weights{W: [3]float64{0.2, 0.7, 0.05}, Learned: true}
@@ -223,21 +239,20 @@ func TestLearnedWeightsRaiseAdmissibleLoad(t *testing.T) {
 func TestPredictorValidation(t *testing.T) {
 	prof := workload.Float()
 	set := syntheticSet(prof, [3]float64{0.5, 0, 0})
-	cases := map[string]func(){
-		"nil set":       func() { NewPredictor(prof, nil, 10, 0.95) },
-		"wrong service": func() { s2 := syntheticSet(workload.DD(), [3]float64{0, 0, 0}); NewPredictor(prof, s2, 10, 0.95) },
-		"zero nmax":     func() { NewPredictor(prof, set, 0, 0.95) },
-		"bad quantile":  func() { NewPredictor(prof, set, 10, 1.0) },
+	cases := map[string]func() error{
+		"nil set": func() error { _, err := NewPredictor(prof, nil, 10, 0.95); return err },
+		"wrong service": func() error {
+			s2 := syntheticSet(workload.DD(), [3]float64{0, 0, 0})
+			_, err := NewPredictor(prof, s2, 10, 0.95)
+			return err
+		},
+		"zero nmax":    func() error { _, err := NewPredictor(prof, set, 0, 0.95); return err },
+		"bad quantile": func() error { _, err := NewPredictor(prof, set, 10, 1.0); return err },
 	}
 	for name, fn := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s did not panic", name)
-				}
-			}()
-			fn()
-		}()
+		if fn() == nil {
+			t.Errorf("%s accepted without error", name)
+		}
 	}
 }
 

@@ -171,7 +171,10 @@ type Result struct {
 	Events          uint64
 }
 
-// Run executes the scenario to completion.
+// Run executes the scenario to completion. It panics if the scenario
+// fails validation: experiment drivers construct scenarios from
+// already-validated configs, and a malformed one aborting the run is the
+// correct failure mode mid-suite.
 func Run(sc Scenario) *Result {
 	if err := sc.Validate(); err != nil {
 		panic(err)
@@ -254,12 +257,21 @@ func Run(sc Scenario) *Result {
 			})
 
 			set := SurfaceSet(prof, slCfg)
-			pred := controller.NewPredictor(prof, set, pool.NMax(prof.Name), 0.95)
-			ctrl := controller.New(controller.DefaultConfig(), pred)
+			pred, err := controller.NewPredictor(prof, set, pool.NMax(prof.Name), 0.95)
+			if err != nil {
+				panic(err) // scenario validation already vouched for these inputs
+			}
+			ctrl, err := controller.New(controller.DefaultConfig(), pred)
+			if err != nil {
+				panic(err) // DefaultConfig is always valid
+			}
 
 			engCfg := engine.DefaultConfig(slCfg.Node.Capacity())
-			engCfg.SamplePeriod = queueing.SamplePeriod(
+			engCfg.SamplePeriod, err = queueing.SamplePeriod(
 				slCfg.ColdStartMean, prof.QoSTarget, prof.ExecTime, sc.allowedError(), 10)
+			if err != nil {
+				panic(err) // scenario validation bounds the QoS target and error
+			}
 			engCfg.Prewarm = sc.Variant != VariantAmoebaNoP
 			w.eng = engine.New(s, pool, vms, prof, ctrl, mon, engCfg)
 			w.coll = w.eng.Collector

@@ -13,6 +13,15 @@ import (
 // fast.
 const testDay = 3600.0
 
+// skipIfRace skips the full-day scenario simulations when the race
+// detector is on; see race_enabled_test.go.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("full-day simulation skipped under -race; see race_enabled_test.go")
+	}
+}
+
 func background(seed uint64) []ServiceSpec {
 	return BackgroundTenants(testDay, seed)
 }
@@ -28,6 +37,7 @@ func scenarioFor(prof workload.Profile, v Variant, seed uint64) Scenario {
 }
 
 func TestNamekoMeetsQoS(t *testing.T) {
+	skipIfRace(t)
 	for _, prof := range []workload.Profile{workload.Float(), workload.DD()} {
 		res := Run(scenarioFor(prof, VariantNameko, 1))
 		sr := res.Services[prof.Name]
@@ -50,6 +60,7 @@ func TestNamekoMeetsQoS(t *testing.T) {
 }
 
 func TestOpenWhiskViolatesOverloadedBenchmarks(t *testing.T) {
+	skipIfRace(t)
 	// matmul's peak exceeds its serverless capacity: pure serverless must
 	// blow through the QoS target (Fig. 10).
 	prof := workload.Matmul()
@@ -62,6 +73,7 @@ func TestOpenWhiskViolatesOverloadedBenchmarks(t *testing.T) {
 }
 
 func TestAmoebaMeetsQoSAndSavesResources(t *testing.T) {
+	skipIfRace(t)
 	prof := workload.Float()
 	amoeba := Run(scenarioFor(prof, VariantAmoeba, 3))
 	nameko := Run(scenarioFor(prof, VariantNameko, 3))
@@ -89,6 +101,7 @@ func TestAmoebaMeetsQoSAndSavesResources(t *testing.T) {
 }
 
 func TestAmoebaSwitchesBothWays(t *testing.T) {
+	skipIfRace(t)
 	prof := workload.DD()
 	res := Run(scenarioFor(prof, VariantAmoeba, 4))
 	sr := res.Services[prof.Name]
@@ -108,6 +121,7 @@ func TestAmoebaSwitchesBothWays(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
+	skipIfRace(t)
 	a := Run(scenarioFor(workload.Float(), VariantAmoeba, 7))
 	b := Run(scenarioFor(workload.Float(), VariantAmoeba, 7))
 	as, bs := a.Services["float"], b.Services["float"]

@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Each
+// scenario test here simulates a full compressed day; under the
+// detector's ~10x slowdown the package brushes the test timeout, so the
+// full-day tests skip. core.Run is single-threaded by design — its
+// -race coverage comes from internal/experiments' race tests, which run
+// the same code path concurrently on a short horizon.
+const raceEnabled = true

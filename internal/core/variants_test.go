@@ -9,6 +9,7 @@ import (
 )
 
 func TestNoMUsesAtLeastAsMuchAsAmoeba(t *testing.T) {
+	skipIfRace(t)
 	prof := workload.Float()
 	am := Run(scenarioFor(prof, VariantAmoeba, 21)).Services[prof.Name]
 	nom := Run(scenarioFor(prof, VariantAmoebaNoM, 21)).Services[prof.Name]
@@ -28,6 +29,7 @@ func TestNoMUsesAtLeastAsMuchAsAmoeba(t *testing.T) {
 }
 
 func TestNoPViolatesMoreThanAmoeba(t *testing.T) {
+	skipIfRace(t)
 	prof := workload.CloudStor()
 	am := Run(scenarioFor(prof, VariantAmoeba, 22)).Services[prof.Name]
 	nop := Run(scenarioFor(prof, VariantAmoebaNoP, 22)).Services[prof.Name]
@@ -41,6 +43,7 @@ func TestNoPViolatesMoreThanAmoeba(t *testing.T) {
 }
 
 func TestBurstForcesSwitchOut(t *testing.T) {
+	skipIfRace(t)
 	// A service cruising on serverless gets hit by a sustained burst well
 	// beyond its admissible load: Amoeba must retreat to IaaS and keep
 	// the 95%-ile intact over the whole run.
@@ -77,6 +80,7 @@ func TestBurstForcesSwitchOut(t *testing.T) {
 }
 
 func TestMultiDayRunStable(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("multi-day run in -short mode")
 	}
@@ -99,6 +103,7 @@ func TestMultiDayRunStable(t *testing.T) {
 }
 
 func TestMultiServiceScenario(t *testing.T) {
+	skipIfRace(t)
 	day := testDay
 	sc := Scenario{
 		Variant: VariantAmoeba,
@@ -149,6 +154,7 @@ func TestBackgroundTenantsWellFormed(t *testing.T) {
 }
 
 func TestMeterOverheadReportedForAmoebaVariants(t *testing.T) {
+	skipIfRace(t)
 	res := Run(scenarioFor(workload.Float(), VariantAmoeba, 26))
 	if res.MeterCPUSeconds <= 0 {
 		t.Error("no meter overhead recorded for Amoeba")
@@ -160,6 +166,7 @@ func TestMeterOverheadReportedForAmoebaVariants(t *testing.T) {
 }
 
 func TestProfileCacheReuse(t *testing.T) {
+	skipIfRace(t)
 	// Two runs with the same config must reuse the memoised surfaces.
 	ResetProfileCache()
 	Run(scenarioFor(workload.Float(), VariantAmoeba, 27))

@@ -74,6 +74,7 @@ func (b Bill) Total() float64 {
 }
 
 // ForService prices one service's result under the tariff.
+// It panics if the pricing fails validation or sr is nil.
 func ForService(p Pricing, sr *core.ServiceResult) Bill {
 	if err := p.Validate(); err != nil {
 		panic(err)

@@ -93,8 +93,14 @@ func TestSafetyVetoBlocksSwitchIn(t *testing.T) {
 			},
 		}
 	}
-	pred := controller.NewPredictor(prof, set, pool.NMax(prof.Name), 0.95)
-	ctrl := controller.New(controller.DefaultConfig(), pred)
+	pred, err := controller.NewPredictor(prof, set, pool.NMax(prof.Name), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(controller.DefaultConfig(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DefaultConfig(slCfg.Node.Capacity())
 	cfg.SamplePeriod = 10
 	eng = New(s, pool, vms, prof, ctrl, mon, cfg)

@@ -138,6 +138,7 @@ type Engine struct {
 // New wires an engine for one service. The service must already be
 // registered on the pool and deployed on the IaaS platform by the caller
 // (core does this); the engine registers only the shadow twin.
+// It panics if the config fails validation.
 func New(s *sim.Simulator, pool *serverless.Platform, vms *iaas.Platform,
 	prof workload.Profile, ctrl *controller.Controller, mon *monitor.Monitor, cfg Config) *Engine {
 

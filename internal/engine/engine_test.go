@@ -71,8 +71,14 @@ func newRig(t *testing.T, seed uint64, mutate func(*Config)) *rig {
 	pool.Register(prof, func(rec metrics.QueryRecord) { r.eng.OnServerlessComplete(rec) })
 	vms.Deploy(prof, func(rec metrics.QueryRecord) { r.eng.OnIaaSComplete(rec) })
 
-	pred := controller.NewPredictor(prof, flatSet(prof), pool.NMax(prof.Name), 0.95)
-	r.ctrl = controller.New(controller.DefaultConfig(), pred)
+	pred, err := controller.NewPredictor(prof, flatSet(prof), pool.NMax(prof.Name), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ctrl, err = controller.New(controller.DefaultConfig(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cfg := DefaultConfig(slCfg.Node.Capacity())
 	cfg.SamplePeriod = 10

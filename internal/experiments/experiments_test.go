@@ -14,6 +14,15 @@ func quickCfg() Config {
 	return cfg
 }
 
+// skipIfRace skips the full figure-reproduction simulations when the race
+// detector is on; race_test.go covers the concurrency on a short horizon.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("full-suite simulation skipped under -race; see race_test.go")
+	}
+}
+
 var sharedSuite = NewSuite(quickCfg())
 
 func TestTables(t *testing.T) {
@@ -40,6 +49,7 @@ func TestLevelMapping(t *testing.T) {
 }
 
 func TestFig02Shape(t *testing.T) {
+	skipIfRace(t)
 	r := Fig02(quickCfg())
 	if len(r.Rows) == 0 {
 		t.Fatal("no rows")
@@ -65,6 +75,7 @@ func TestFig02Shape(t *testing.T) {
 }
 
 func TestFig03Shape(t *testing.T) {
+	skipIfRace(t)
 	r := Fig03(quickCfg())
 	for _, row := range r.Rows {
 		// Paper: serverless sustains 73.9%–89.2% of the IaaS peak. Allow
@@ -82,6 +93,7 @@ func TestFig03Shape(t *testing.T) {
 }
 
 func TestFig04Shape(t *testing.T) {
+	skipIfRace(t)
 	r := Fig04(quickCfg())
 	for _, row := range r.Rows {
 		if row.OverheadFrac < 0.05 || row.OverheadFrac > 0.45 {
@@ -96,6 +108,7 @@ func TestFig04Shape(t *testing.T) {
 }
 
 func TestFig08Shape(t *testing.T) {
+	skipIfRace(t)
 	r := Fig08(quickCfg())
 	for i, c := range r.Curves {
 		if err := c.Validate(); err != nil {
@@ -112,6 +125,7 @@ func TestFig08Shape(t *testing.T) {
 }
 
 func TestFig09Shape(t *testing.T) {
+	skipIfRace(t)
 	r := Fig09(quickCfg(), workload.DD())
 	if err := r.Set.Validate(); err != nil {
 		t.Fatal(err)
@@ -130,6 +144,7 @@ func TestFig09Shape(t *testing.T) {
 }
 
 func TestFig10And11Shapes(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r10 := Fig10(s)
 	byKey := map[string]Fig10Entry{}
@@ -166,6 +181,7 @@ func TestFig10And11Shapes(t *testing.T) {
 }
 
 func TestFig12And13Shapes(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r12 := Fig12(s)
 	for _, tl := range r12.Timelines {
@@ -190,6 +206,7 @@ func TestFig12And13Shapes(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r := Fig14(s)
 	atLeastOneWorse := false
@@ -210,6 +227,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r := Fig15(s)
 	for _, row := range r.Rows {
@@ -228,6 +246,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestFig16Shape(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r := Fig16(s)
 	for _, row := range r.Rows {
@@ -242,6 +261,7 @@ func TestFig16Shape(t *testing.T) {
 }
 
 func TestOverheadShape(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r := Overhead(s)
 	if len(r.Rows) != 3 {
@@ -264,6 +284,7 @@ func TestOverheadShape(t *testing.T) {
 }
 
 func TestSuiteMemoisation(t *testing.T) {
+	skipIfRace(t)
 	s := NewSuite(quickCfg())
 	a := s.Run(workload.Float(), core.VariantNameko)
 	b := s.Run(workload.Float(), core.VariantNameko)

@@ -3,6 +3,7 @@ package experiments
 import "testing"
 
 func TestElasticityShape(t *testing.T) {
+	skipIfRace(t)
 	s := sharedSuite
 	r := Elasticity(s)
 	if len(r.Rows) == 0 {

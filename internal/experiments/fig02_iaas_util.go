@@ -29,7 +29,7 @@ type Fig02Result struct {
 	Rows []Fig02Row
 }
 
-// Fig02 runs the experiment.
+// Fig02 runs the experiment. It panics if the config fails validation.
 func Fig02(cfg Config) *Fig02Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

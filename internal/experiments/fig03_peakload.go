@@ -27,7 +27,7 @@ type Fig03Result struct {
 	Rows []Fig03Row
 }
 
-// Fig03 runs the experiment.
+// Fig03 runs the experiment. It panics if the config fails validation.
 func Fig03(cfg Config) *Fig03Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

@@ -29,7 +29,7 @@ type Fig04Result struct {
 	Rows []Fig04Row
 }
 
-// Fig04 runs the experiment.
+// Fig04 runs the experiment. It panics if the config fails validation.
 func Fig04(cfg Config) *Fig04Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

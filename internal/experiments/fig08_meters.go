@@ -14,6 +14,7 @@ type Fig08Result struct {
 }
 
 // Fig08 runs the experiment (profiled curves are memoised process-wide).
+// It panics if the config fails validation.
 func Fig08(cfg Config) *Fig08Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

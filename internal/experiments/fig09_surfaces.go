@@ -20,6 +20,7 @@ type Fig09Result struct {
 
 // Fig09 profiles the surfaces of the given benchmark (the paper shows one
 // example microservice; dd makes the IO sensitivity visible).
+// It panics if the config fails validation.
 func Fig09(cfg Config, prof workload.Profile) *Fig09Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

@@ -65,7 +65,11 @@ func fig15One(s *Suite, prof workload.Profile) Fig15Row {
 	slCfg := serverless.DefaultConfig()
 	set := core.SurfaceSet(prof, slCfg)
 	nMax := nMaxFor(slCfg)
-	pred := controller.NewPredictor(prof, set, nMax, 0.95)
+	pred, err := controller.NewPredictor(prof, set, nMax, 0.95)
+	if err != nil {
+		//amoeba:allow panic suite config was validated by NewSuite
+		panic(err)
+	}
 
 	calibrated := s.Service(prof, core.VariantAmoeba).FinalWeights
 	w0 := monitor.InitialWeights()

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// figure-reproduction tests each run full (quick-mode) day simulations;
+// under the detector's ~10x slowdown the package would exceed the test
+// timeout, so those skip and the dedicated race tests — which exercise
+// the same concurrency on a shorter horizon — carry the -race coverage.
+const raceEnabled = true

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"amoeba/internal/core"
+	"amoeba/internal/workload"
+)
+
+// raceCfg shrinks the virtual day so the suite's concurrency can be
+// exercised under the race detector's ~10x slowdown without hitting the
+// test timeout. The figures' accuracy does not matter here — only that
+// the same configuration yields bit-identical results on every schedule.
+func raceCfg() Config {
+	cfg := quickCfg()
+	cfg.DayLength = 600
+	return cfg
+}
+
+// TestSuiteConcurrentRunSameKey hammers one memoisation key from many
+// goroutines. Under -race this proves the lock discipline in Suite.Run;
+// the pointer comparison proves that exactly one result wins and every
+// caller observes it, however the goroutines interleave.
+func TestSuiteConcurrentRunSameKey(t *testing.T) {
+	s := NewSuite(raceCfg())
+	prof := workload.Float()
+
+	const callers = 8
+	results := make([]*core.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = s.Run(prof, core.VariantAmoeba)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d observed a different memoised result", i)
+		}
+	}
+}
+
+// TestSuitePrefetchMatchesSequential runs the same configuration through
+// the concurrent Prefetch fan-out and through plain sequential Run calls,
+// then compares the QoS outcome of every (benchmark, variant) pair. The
+// simulations are seeded and single-threaded internally, so any
+// divergence means goroutine scheduling leaked into a result.
+func TestSuitePrefetchMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite runs in -short mode")
+	}
+	cfg := raceCfg()
+	variants := []core.Variant{core.VariantAmoeba, core.VariantNameko}
+
+	par := NewSuite(cfg)
+	par.Prefetch(variants...)
+
+	seq := NewSuite(cfg)
+	for _, prof := range cfg.benchmarks() {
+		for _, v := range variants {
+			seq.Run(prof, v)
+		}
+	}
+
+	for _, prof := range cfg.benchmarks() {
+		for _, v := range variants {
+			a := par.Service(prof, v).Collector.ViolationFraction()
+			b := seq.Service(prof, v).Collector.ViolationFraction()
+			if a != b {
+				t.Errorf("%s/%d: prefetch violation fraction %v != sequential %v",
+					prof.Name, v, a, b)
+			}
+		}
+	}
+}

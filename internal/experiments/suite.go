@@ -19,7 +19,8 @@ type Suite struct {
 	runs map[string]*core.Result
 }
 
-// NewSuite creates an empty suite.
+// NewSuite creates an empty suite. It panics if the config fails
+// validation.
 func NewSuite(cfg Config) *Suite {
 	if err := cfg.Validate(); err != nil {
 		panic(err)

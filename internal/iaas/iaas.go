@@ -89,7 +89,8 @@ type Platform struct {
 	services map[string]*service
 }
 
-// New creates an IaaS platform on the simulator.
+// New creates an IaaS platform on the simulator. It panics if the
+// config fails validation.
 func New(s *sim.Simulator, cfg Config) *Platform {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -107,7 +108,11 @@ func New(s *sim.Simulator, cfg Config) *Platform {
 // load within target, then headroom.
 func ProvisionSlots(profile workload.Profile, quantile, headroom float64) int {
 	mu := 1 / (profile.ExecTime + profile.Overheads.Processing) // worker service rate
-	slots := queueing.MinContainers(profile.PeakQPS, mu, profile.QoSTarget, quantile, 100000)
+	slots, err := queueing.MinContainers(profile.PeakQPS, mu, profile.QoSTarget, quantile, 100000)
+	if err != nil {
+		//amoeba:allow panic the search cap is a positive literal above
+		panic(err)
+	}
 	slots = int(math.Ceil(float64(slots) * headroom))
 	if slots < 1 {
 		slots = 1
@@ -127,6 +132,8 @@ func (p *Platform) Deploy(profile workload.Profile, onComplete func(metrics.Quer
 
 // DeployWithVMs provisions an explicit VM count (autoscaling baselines
 // start small and let their controller grow the group).
+// It panics if the profile is invalid, the VM count is below one, or the
+// service is already deployed.
 func (p *Platform) DeployWithVMs(profile workload.Profile, vms int, onComplete func(metrics.QueryRecord)) {
 	if err := profile.Validate(); err != nil {
 		panic(err)
@@ -161,6 +168,8 @@ func (p *Platform) groupAlloc(svc *service) resources.Vector {
 	}
 }
 
+// mustSvc looks up a deployed service. It panics on an unknown name:
+// routing to a service that was never deployed is a wiring bug.
 func (p *Platform) mustSvc(name string) *service {
 	svc, ok := p.services[name]
 	if !ok {
@@ -226,6 +235,7 @@ func (p *Platform) startQuery(svc *service, arrived sim.Time) {
 // brings their worker slots online after BootDelay; onReady fires then.
 // Scale-in takes effect immediately: the allocation and slot count drop,
 // and queries already running on removed workers finish undisturbed.
+// It panics if the target count is below one or the service is stopped.
 func (p *Platform) Scale(name string, vms int, onReady func()) {
 	svc := p.mustSvc(name)
 	if vms < 1 {
@@ -355,6 +365,9 @@ func (p *Platform) AllocFor(name string) resources.Vector {
 	return p.mustSvc(name).usage.Current()
 }
 
+// lognormalParams converts a mean/CV pair to lognormal parameters.
+// It panics if the mean is non-positive; Config.Validate rules that out
+// for every caller.
 func lognormalParams(mean, cv float64) (muLN, sigma float64) {
 	if mean <= 0 {
 		panic(fmt.Sprintf("iaas: non-positive lognormal mean %v", mean))

@@ -13,6 +13,8 @@ import (
 // Jacobi is quadratically convergent and unconditionally stable for the
 // tiny symmetric (covariance) matrices the contention monitor builds, so a
 // full QR implementation would be unwarranted complexity.
+//
+// It panics if the matrix is not square and symmetric.
 func EigenSym(m *Matrix) (values []float64, vectors *Matrix) {
 	if m.Rows != m.Cols {
 		panic("linalg: EigenSym on non-square matrix")
@@ -111,6 +113,7 @@ func maxAbs(m *Matrix) float64 {
 // SolveLeastSquares returns x minimising ||A x - b||² via the normal
 // equations with a small ridge term for numerical safety. A has one row
 // per sample; b has one entry per sample.
+// It panics if the row count of A differs from len(b).
 func SolveLeastSquares(a *Matrix, b []float64) []float64 {
 	if a.Rows != len(b) {
 		panic("linalg: SolveLeastSquares shape mismatch")
@@ -128,7 +131,8 @@ func SolveLeastSquares(a *Matrix, b []float64) []float64 {
 }
 
 // SolveSPD solves A x = b for a symmetric positive-definite A via Cholesky
-// decomposition.
+// decomposition. It panics if the shapes disagree or A is not positive
+// definite.
 func SolveSPD(a *Matrix, b []float64) []float64 {
 	n := a.Rows
 	if a.Cols != n || len(b) != n {

@@ -17,6 +17,7 @@ type Matrix struct {
 }
 
 // NewMatrix allocates a zero matrix with the given shape.
+// It panics if either dimension is non-positive.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
@@ -25,6 +26,7 @@ func NewMatrix(rows, cols int) *Matrix {
 }
 
 // FromRows builds a matrix from row slices, which must be equal length.
+// It panics on empty or ragged input.
 func FromRows(rows [][]float64) *Matrix {
 	if len(rows) == 0 || len(rows[0]) == 0 {
 		panic("linalg: FromRows with empty input")
@@ -63,7 +65,7 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// Mul returns m * o.
+// Mul returns m * o. It panics if the inner dimensions disagree.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
@@ -83,7 +85,8 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 	return out
 }
 
-// MulVec returns m * v for a column vector v.
+// MulVec returns m * v for a column vector v. It panics if the vector
+// length differs from the column count.
 func (m *Matrix) MulVec(v []float64) []float64 {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
@@ -126,7 +129,7 @@ func (m *Matrix) CenterColumns() []float64 {
 }
 
 // Covariance returns the sample covariance matrix of the rows of m
-// (columns are variables). Requires at least two rows.
+// (columns are variables). It panics with fewer than two rows.
 func Covariance(m *Matrix) *Matrix {
 	if m.Rows < 2 {
 		panic("linalg: Covariance needs at least 2 samples")

@@ -71,7 +71,7 @@ type Collector struct {
 }
 
 // NewCollector returns a collector for one service with the given QoS
-// target (seconds).
+// target (seconds). It panics if the target is non-positive.
 func NewCollector(service string, qosTarget float64) *Collector {
 	if qosTarget <= 0 {
 		panic(fmt.Sprintf("metrics: non-positive QoS target %v", qosTarget))

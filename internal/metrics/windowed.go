@@ -35,7 +35,7 @@ func (w ViolationWindow) Rate() float64 {
 }
 
 // NewWindowedViolations creates a tracker with the given window length
-// (seconds) and QoS target (seconds).
+// (seconds) and QoS target (seconds). It panics unless both are positive.
 func NewWindowedViolations(window, target float64) *WindowedViolations {
 	if window <= 0 || target <= 0 {
 		panic(fmt.Sprintf("metrics: invalid windowed tracker (window %v, target %v)", window, target))

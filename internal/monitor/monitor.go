@@ -136,6 +136,7 @@ type Monitor struct {
 
 // New creates a monitor against the given platform. The meter functions
 // are registered on the platform here; Start launches the probing.
+// It panics if the config or any meter curve is missing or invalid.
 func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, cfg Config) *Monitor {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -172,6 +173,7 @@ func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, c
 }
 
 // Start launches the meter probes and the periodic pressure update.
+// It panics if called twice.
 func (m *Monitor) Start() {
 	if m.started {
 		panic("monitor: Start called twice")

@@ -26,7 +26,7 @@ type Model struct {
 }
 
 // Fit computes the PCA basis of the samples (one row per observation,
-// one column per feature). At least two samples are required.
+// one column per feature). It panics with fewer than two samples.
 func Fit(samples *linalg.Matrix) *Model {
 	if samples.Rows < 2 {
 		panic("pca: Fit needs at least 2 samples")
@@ -50,7 +50,7 @@ func Fit(samples *linalg.Matrix) *Model {
 func (m *Model) Dims() int { return len(m.Means) }
 
 // ExplainedVariance returns the fraction of total variance captured by the
-// first k components.
+// first k components. It panics if k is out of range.
 func (m *Model) ExplainedVariance(k int) float64 {
 	if k < 0 || k > len(m.Variances) {
 		panic(fmt.Sprintf("pca: k=%d out of range", k))
@@ -80,6 +80,7 @@ func (m *Model) ComponentsFor(fraction float64) int {
 }
 
 // Transform projects one observation onto the first k components.
+// It panics if the observation or k does not match the fitted basis.
 func (m *Model) Transform(x []float64, k int) []float64 {
 	if len(x) != m.Dims() {
 		panic("pca: Transform dimension mismatch")
@@ -110,6 +111,7 @@ type Regression struct {
 
 // FitRegression fits y on the rows of samples using the first k principal
 // components (k <= 0 selects the smallest k explaining >= 95% variance).
+// It panics if the sample and target counts disagree.
 func FitRegression(samples *linalg.Matrix, y []float64, k int) *Regression {
 	if samples.Rows != len(y) {
 		panic("pca: FitRegression shape mismatch")
@@ -170,7 +172,8 @@ func FitRegression(samples *linalg.Matrix, y []float64, k int) *Regression {
 	}
 }
 
-// Predict evaluates the regression at x.
+// Predict evaluates the regression at x. It panics on a dimension
+// mismatch with the fitted weights.
 func (r *Regression) Predict(x []float64) float64 {
 	if len(x) != len(r.Weights) {
 		panic("pca: Predict dimension mismatch")
@@ -183,7 +186,7 @@ func (r *Regression) Predict(x []float64) float64 {
 }
 
 // RMSE returns the root-mean-square error of the regression over the given
-// samples.
+// samples. It panics if the sample and target counts disagree.
 func (r *Regression) RMSE(samples *linalg.Matrix, y []float64) float64 {
 	if samples.Rows != len(y) {
 		panic("pca: RMSE shape mismatch")

@@ -70,7 +70,8 @@ func (o Options) validate() error {
 }
 
 // injectionFor converts a pressure level on meter resource idx into a raw
-// demand vector against the given capacity.
+// demand vector against the given capacity. It panics on an index outside
+// the three meter resources — callers iterate a fixed range.
 func injectionFor(idx int, pressure float64, capacity resources.Vector) resources.Vector {
 	switch idx {
 	case 0:
@@ -93,6 +94,9 @@ func injectionFor(idx int, pressure float64, capacity resources.Vector) resource
 // queueing is the M/M/N discriminant's job, and folding it into the
 // surfaces would double-count it in Eq. 6 — and blow the features up near
 // saturation, where profiling-cell queues explode.
+//
+// It panics if the cell produced no warm samples, which would silently
+// poison the surface grid.
 func measureCell(prof workload.Profile, idx int, pressure, loadQPS float64,
 	cfg serverless.Config, opts Options, seed uint64, bodyOnly bool) float64 {
 
@@ -141,6 +145,8 @@ func measureCell(prof workload.Profile, idx int, pressure, loadQPS float64,
 // latency as the pressure on its resource sweeps the grid. The result is
 // made monotone by isotonic (running-max) smoothing so the runtime
 // inversion is well-defined.
+// It panics if the options are invalid, the grid has fewer than two
+// points, or the profiled curve fails validation.
 func MeterCurve(m meters.Meter, cfg serverless.Config, pressures []float64, opts Options) *meters.Curve {
 	if err := opts.validate(); err != nil {
 		panic(err)
@@ -186,6 +192,8 @@ func AllMeterCurves(cfg serverless.Config, pressures []float64, opts Options) [3
 
 // BuildSurface profiles one latency surface (one panel of Fig. 9): the
 // service's p95 latency over (pressure on resource idx) × (own load).
+// It panics if the options are invalid or the profiled surface fails
+// validation.
 func BuildSurface(prof workload.Profile, idx int, cfg serverless.Config,
 	pressures, loads []float64, opts Options) *surfaces.Surface {
 
@@ -224,7 +232,8 @@ func BuildSurface(prof workload.Profile, idx int, cfg serverless.Config,
 	return s
 }
 
-// BuildSet profiles all three surfaces of a service.
+// BuildSet profiles all three surfaces of a service. It panics if the
+// assembled set fails validation.
 func BuildSet(prof workload.Profile, cfg serverless.Config,
 	pressures, loads []float64, opts Options) *surfaces.Set {
 

@@ -13,7 +13,9 @@ import (
 // λ; the paper iterates it with feedback). It returns the admissible
 // arrival rate; arrivals at or below it keep the r-quantile latency within
 // targetTD. Non-positive waiting budget (T_D <= 1/μ) returns 0: the
-// service time alone already exceeds the target.
+// service time alone already exceeds the target. It panics if q is not a
+// well-formed M/M/N system; callers pass operating points they computed
+// themselves, so that is a bug, not an input error.
 func DiscriminantClosedForm(q MMN, targetTD, r float64) float64 {
 	if err := q.Validate(); err != nil {
 		panic(err)
@@ -45,7 +47,9 @@ func DiscriminantClosedForm(q MMN, targetTD, r float64) float64 {
 // r-quantile response time of M/M/N(λ*, μ, N) stays within targetTD,
 // found by bisection over λ in (0, Nμ). This is the authoritative
 // threshold used by the controller: unlike the closed form it accounts
-// for ρ's dependence on λ exactly.
+// for ρ's dependence on λ exactly. It panics if mu or n is non-positive —
+// both are produced by the controller's own prediction pipeline, never
+// taken from user input.
 func DiscriminantBisect(mu float64, n int, targetTD, r float64) float64 {
 	if mu <= 0 || n <= 0 {
 		panic(fmt.Sprintf("queueing: invalid mu=%v n=%d", mu, n))
@@ -74,23 +78,27 @@ func DiscriminantBisect(mu float64, n int, targetTD, r float64) float64 {
 
 // MinContainers returns the smallest container count n such that M/M/n at
 // the given λ and μ keeps the r-quantile within targetTD, capped at
-// maxN. It returns maxN+1 when even maxN is insufficient.
-func MinContainers(lambda, mu, targetTD, r float64, maxN int) int {
+// maxN. It returns maxN+1 when even maxN is insufficient, and an error
+// when the search bound itself is malformed.
+func MinContainers(lambda, mu, targetTD, r float64, maxN int) (int, error) {
 	if maxN <= 0 {
-		panic("queueing: MinContainers with non-positive maxN")
+		return 0, fmt.Errorf("queueing: MinContainers with non-positive maxN %d", maxN)
 	}
 	for n := 1; n <= maxN; n++ {
 		q := MMN{Lambda: lambda, Mu: mu, N: n}
 		if q.Stable() && q.QoSSatisfied(targetTD, r) {
-			return n
+			return n, nil
 		}
 	}
-	return maxN + 1
+	return maxN + 1, nil
 }
 
 // PrewarmCount implements Eq. 7: the number of prewarmed containers n such
 // that (n-1)/QoS_t < V_u <= n/QoS_t, i.e. n = ceil(V_u * QoS_t), with a
-// floor of 1 so a switch always warms at least one container.
+// floor of 1 so a switch always warms at least one container. It panics
+// if qosTarget is non-positive; the target comes from a validated
+// workload.Profile, so the engine's decision loop need not thread an
+// error through every tick.
 func PrewarmCount(loadQPS, qosTarget float64) int {
 	if qosTarget <= 0 {
 		panic("queueing: PrewarmCount with non-positive QoS target")
@@ -108,13 +116,15 @@ func PrewarmCount(loadQPS, qosTarget float64) int {
 // MaxContainers implements the paper's resource cap
 // n_max = min(1/δ, M₀/M₁): the share bound (at most a fraction δ of the
 // pool per tenant, expressed as its reciprocal) and the memory bound
-// (platform memory M₀ over per-container memory M₁).
-func MaxContainers(delta, platformMemMB, containerMemMB float64) int {
+// (platform memory M₀ over per-container memory M₁). Both δ and the
+// memory sizes come straight from user configuration, so malformed
+// values are reported as an error.
+func MaxContainers(delta, platformMemMB, containerMemMB float64) (int, error) {
 	if delta <= 0 || delta > 1 {
-		panic(fmt.Sprintf("queueing: delta %v out of (0,1]", delta))
+		return 0, fmt.Errorf("queueing: delta %v out of (0,1]", delta)
 	}
 	if containerMemMB <= 0 {
-		panic("queueing: non-positive container memory")
+		return 0, fmt.Errorf("queueing: non-positive container memory %v", containerMemMB)
 	}
 	shareBound := 1 / delta
 	memBound := platformMemMB / containerMemMB
@@ -122,7 +132,7 @@ func MaxContainers(delta, platformMemMB, containerMemMB float64) int {
 	if n < 1 {
 		n = 1
 	}
-	return n
+	return n, nil
 }
 
 // SamplePeriod implements Eq. 8: the minimum monitor sample period T that
@@ -133,21 +143,22 @@ func MaxContainers(delta, platformMemMB, containerMemMB float64) int {
 // where e is the allowed error fraction. The returned value is the bound
 // itself (callers should sample no more often). When the numerator is
 // non-positive a cold start cannot cause a violation, and the floor
-// minPeriod is returned.
-func SamplePeriod(coldStart, qosTarget, execTime, allowedError, minPeriod float64) float64 {
+// minPeriod is returned. The QoS target and allowed error are scenario
+// configuration, so malformed values are reported as an error.
+func SamplePeriod(coldStart, qosTarget, execTime, allowedError, minPeriod float64) (float64, error) {
 	if qosTarget <= 0 {
-		panic("queueing: SamplePeriod with non-positive QoS target")
+		return 0, fmt.Errorf("queueing: SamplePeriod with non-positive QoS target %v", qosTarget)
 	}
 	if allowedError <= 0 || allowedError >= 1 {
-		panic(fmt.Sprintf("queueing: allowed error %v out of (0,1)", allowedError))
+		return 0, fmt.Errorf("queueing: allowed error %v out of (0,1)", allowedError)
 	}
 	num := coldStart - qosTarget + execTime
 	if num <= 0 {
-		return minPeriod
+		return minPeriod, nil
 	}
 	t := num / ((1 - allowedError) * qosTarget)
 	if t < minPeriod {
-		return minPeriod
+		return minPeriod, nil
 	}
-	return t
+	return t, nil
 }

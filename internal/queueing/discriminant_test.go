@@ -89,7 +89,10 @@ func TestDiscriminantBisectProperty(t *testing.T) {
 func TestMinContainers(t *testing.T) {
 	// lambda=5, mu=1: need at least 6 containers for stability; the QoS
 	// requirement can only push it higher.
-	n := MinContainers(5, 1, 2.0, 0.95, 100)
+	n, err := MinContainers(5, 1, 2.0, 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n < 6 {
 		t.Fatalf("MinContainers = %d, below stability bound 6", n)
 	}
@@ -106,8 +109,8 @@ func TestMinContainers(t *testing.T) {
 }
 
 func TestMinContainersInsufficientCap(t *testing.T) {
-	if n := MinContainers(100, 1, 0.9, 0.95, 5); n != 6 {
-		t.Errorf("MinContainers over cap = %d, want maxN+1 = 6", n)
+	if n, err := MinContainers(100, 1, 0.9, 0.95, 5); err != nil || n != 6 {
+		t.Errorf("MinContainers over cap = %d (err %v), want maxN+1 = 6", n, err)
 	}
 }
 
@@ -150,34 +153,36 @@ func TestPrewarmCountSatisfiesEq7Inequality(t *testing.T) {
 func TestMaxContainers(t *testing.T) {
 	// Memory bound: 256GB platform / 256MB containers = 1000; share bound
 	// 1/delta = 20 is smaller.
-	if got := MaxContainers(0.05, 256*1024, 256); got != 20 {
-		t.Errorf("MaxContainers = %d, want 20", got)
+	if got, err := MaxContainers(0.05, 256*1024, 256); err != nil || got != 20 {
+		t.Errorf("MaxContainers = %d (err %v), want 20", got, err)
 	}
 	// Memory bound binding.
-	if got := MaxContainers(0.5, 1024, 256); got != 2 {
-		t.Errorf("MaxContainers = %d, want 2", got)
+	if got, err := MaxContainers(0.5, 1024, 256); err != nil || got != 2 {
+		t.Errorf("MaxContainers = %d (err %v), want 2", got, err)
 	}
 }
 
 func TestSamplePeriodEq8(t *testing.T) {
 	// cold=2s, QoS=0.5s, exec=0.3s, e=0.1 -> T > 1.8/0.45 = 4s.
-	got := SamplePeriod(2, 0.5, 0.3, 0.1, 1)
+	got, err := SamplePeriod(2, 0.5, 0.3, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-4) > 1e-9 {
 		t.Errorf("SamplePeriod = %v, want 4", got)
 	}
 	// Cold start absorbed by the budget: floor returned.
-	if got := SamplePeriod(0.1, 1.0, 0.2, 0.1, 2.5); got != 2.5 {
-		t.Errorf("SamplePeriod floor = %v, want 2.5", got)
+	if got, err := SamplePeriod(0.1, 1.0, 0.2, 0.1, 2.5); err != nil || got != 2.5 {
+		t.Errorf("SamplePeriod floor = %v (err %v), want 2.5", got, err)
 	}
 }
 
 func TestPanicsOnInvalidArguments(t *testing.T) {
+	// Internally-computed parameters keep their documented panic
+	// contracts; see TestErrorsOnInvalidConfig for the user-facing ones.
 	cases := map[string]func(){
 		"DiscriminantBisect": func() { DiscriminantBisect(0, 1, 1, 0.95) },
-		"MinContainers":      func() { MinContainers(1, 1, 1, 0.95, 0) },
 		"PrewarmCount":       func() { PrewarmCount(1, 0) },
-		"MaxContainers":      func() { MaxContainers(0, 100, 10) },
-		"SamplePeriod":       func() { SamplePeriod(1, 1, 1, 1.5, 1) },
 		"ResponseQuantile":   func() { (MMN{Lambda: 1, Mu: 2, N: 1}).ResponseQuantile(1) },
 	}
 	for name, fn := range cases {
@@ -189,5 +194,24 @@ func TestPanicsOnInvalidArguments(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestErrorsOnInvalidConfig(t *testing.T) {
+	// Parameters that arrive from user configuration surface as errors.
+	if _, err := MinContainers(1, 1, 1, 0.95, 0); err == nil {
+		t.Error("MinContainers with non-positive cap returned nil error")
+	}
+	if _, err := MaxContainers(0, 100, 10); err == nil {
+		t.Error("MaxContainers with zero delta returned nil error")
+	}
+	if _, err := MaxContainers(0.5, 100, 0); err == nil {
+		t.Error("MaxContainers with zero container memory returned nil error")
+	}
+	if _, err := SamplePeriod(1, 0, 1, 0.1, 1); err == nil {
+		t.Error("SamplePeriod with zero QoS target returned nil error")
+	}
+	if _, err := SamplePeriod(1, 1, 1, 1.5, 1); err == nil {
+		t.Error("SamplePeriod with out-of-range allowed error returned nil error")
 	}
 }

@@ -42,7 +42,8 @@ func (q MMN) Stable() bool { return q.Rho() < 1 }
 
 // Pi0 returns π₀, the steady-state probability of an empty system
 // (Eq. 1's normalisation constant). Computed with running products to stay
-// stable for large N.
+// stable for large N. It panics if the system parameters are malformed
+// (see Validate); validate user-supplied parameters before querying.
 func (q MMN) Pi0() float64 {
 	if err := q.Validate(); err != nil {
 		panic(err)
@@ -65,7 +66,7 @@ func (q MMN) Pi0() float64 {
 }
 
 // PiK returns π_k, the steady-state probability of exactly k queries in
-// the system (Eq. 1).
+// the system (Eq. 1). It panics if k is negative.
 func (q MMN) PiK(k int) float64 {
 	if k < 0 {
 		panic("queueing: negative k")
@@ -128,7 +129,7 @@ func (q MMN) MeanResponse() float64 { return q.MeanWait() + 1/q.Mu }
 // ResponseQuantile returns the r-quantile of the response time
 // T = W + S approximated as the r-quantile of W plus the mean service
 // time 1/μ — the decomposition the paper's Eq. 5 uses (T_D - 1/μ budget
-// for waiting).
+// for waiting). It panics if r is outside (0,1).
 func (q MMN) ResponseQuantile(r float64) float64 {
 	if r <= 0 || r >= 1 {
 		panic(fmt.Sprintf("queueing: quantile %v out of (0,1)", r))

@@ -31,7 +31,8 @@ func (q MMNK) Validate() error {
 }
 
 // probabilities returns π_0..π_K. Finite systems always have a steady
-// state, even at ρ >= 1.
+// state, even at ρ >= 1. It panics if the system parameters are malformed
+// (see Validate).
 func (q MMNK) probabilities() []float64 {
 	if err := q.Validate(); err != nil {
 		panic(err)
@@ -57,7 +58,8 @@ func (q MMNK) probabilities() []float64 {
 	return terms
 }
 
-// PiK returns π_k for 0 <= k <= K (0 beyond K).
+// PiK returns π_k for 0 <= k <= K (0 beyond K). It panics if k is
+// negative.
 func (q MMNK) PiK(k int) float64 {
 	if k < 0 {
 		panic("queueing: negative k")
@@ -109,7 +111,8 @@ func (q MMNK) MeanWait() float64 {
 
 // MaxThroughputUnderBlocking returns the largest offered λ whose blocking
 // probability stays within maxBlock, found by bisection — the admissible
-// peak under a vendor concurrency cap.
+// peak under a vendor concurrency cap. It panics if maxBlock is outside
+// (0,1).
 func (q MMNK) MaxThroughputUnderBlocking(maxBlock float64) float64 {
 	if maxBlock <= 0 || maxBlock >= 1 {
 		panic(fmt.Sprintf("queueing: blocking bound %v out of (0,1)", maxBlock))
@@ -136,7 +139,8 @@ func (q MMNK) MaxThroughputUnderBlocking(maxBlock float64) float64 {
 
 // ErlangB returns the Erlang-B blocking probability for an M/M/N/N loss
 // system with offered load a erlangs on n servers, via the numerically
-// stable recurrence B(0)=1, B(k) = aB(k-1)/(k + aB(k-1)).
+// stable recurrence B(0)=1, B(k) = aB(k-1)/(k + aB(k-1)). It panics if a
+// or n is negative.
 func ErlangB(a float64, n int) float64 {
 	if a < 0 || n < 0 {
 		panic(fmt.Sprintf("queueing: invalid Erlang-B arguments a=%v n=%d", a, n))

@@ -15,6 +15,7 @@ type Table struct {
 }
 
 // NewTable creates a table with the given title and column headers.
+// It panics if no columns are given.
 func NewTable(title string, columns ...string) *Table {
 	if len(columns) == 0 {
 		panic("report: table with no columns")
@@ -23,6 +24,7 @@ func NewTable(title string, columns ...string) *Table {
 }
 
 // AddRow appends a row; values are formatted with %v, floats with %.3f.
+// It panics if the value count differs from the column count.
 func (t *Table) AddRow(values ...interface{}) {
 	if len(values) != len(t.Columns) {
 		panic(fmt.Sprintf("report: row has %d values, table has %d columns",
@@ -124,6 +126,7 @@ type Figure struct {
 }
 
 // String renders the figure as aligned columns, one block per series.
+// It panics if a series fails validation.
 func (f *Figure) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s  (x: %s, y: %s)\n", f.Title, f.XLabel, f.YLabel)

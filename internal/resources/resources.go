@@ -41,7 +41,7 @@ type Vector struct {
 	NetMbs  float64
 }
 
-// Get returns the component for kind k.
+// Get returns the component for kind k. It panics on an invalid kind.
 func (v Vector) Get(k Kind) float64 {
 	switch k {
 	case CPU:
@@ -57,6 +57,7 @@ func (v Vector) Get(k Kind) float64 {
 }
 
 // Set returns a copy of v with the component for kind k replaced.
+// It panics on an invalid kind.
 func (v Vector) Set(k Kind, val float64) Vector {
 	switch k {
 	case CPU:

@@ -21,7 +21,8 @@ func NewUsage(t float64) *Usage {
 }
 
 // Record advances the integral to time t and sets the allocation that
-// holds from t onward. t must be monotonically non-decreasing.
+// holds from t onward. It panics if t moves backwards — the simulator
+// clock is monotone, so a regression means corrupted bookkeeping.
 func (u *Usage) Record(t float64, alloc Vector) {
 	if !u.started {
 		u.last, u.startTime, u.started = t, t, true

@@ -158,7 +158,8 @@ type Platform struct {
 	completed  uint64
 }
 
-// New creates a platform on the given simulator.
+// New creates a platform on the given simulator. It panics if the
+// config fails validation.
 func New(s *sim.Simulator, cfg Config) *Platform {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -182,6 +183,7 @@ type RegisterOption func(*function)
 
 // WithNMax overrides the per-function container cap (used by experiments
 // that equalise serverless and IaaS resources, e.g. Fig. 3).
+// It panics during Register if the cap is not positive.
 func WithNMax(n int) RegisterOption {
 	return func(f *function) {
 		if n <= 0 {
@@ -196,7 +198,7 @@ func WithNMax(n int) RegisterOption {
 // Glikson [20], implemented as an ablation against Amoeba's
 // switch-triggered prewarming. The floor is replenished whenever reuse or
 // reclaim would drop below it, and reclaim never shrinks the pool under
-// the floor.
+// the floor. It panics during Register if the floor is negative.
 func WithMinWarm(n int) RegisterOption {
 	return func(f *function) {
 		if n < 0 {
@@ -213,7 +215,8 @@ func WithRejectHandler(fn func()) RegisterOption {
 }
 
 // Register adds a function to the platform. onComplete receives every
-// finished activation (may be nil).
+// finished activation (may be nil). It panics if the profile is invalid
+// or the function is already registered.
 func (p *Platform) Register(profile workload.Profile, onComplete func(metrics.QueryRecord), opts ...RegisterOption) {
 	if err := profile.Validate(); err != nil {
 		panic(err)
@@ -221,9 +224,14 @@ func (p *Platform) Register(profile workload.Profile, onComplete func(metrics.Qu
 	if _, dup := p.fns[profile.Name]; dup {
 		panic(fmt.Sprintf("serverless: duplicate function %q", profile.Name))
 	}
+	nMax, err := queueing.MaxContainers(p.cfg.Delta, p.usableMemMB(), p.cfg.ContainerMemMB)
+	if err != nil {
+		//amoeba:allow panic Config.Validate bounded Delta and ContainerMemMB in New
+		panic(err)
+	}
 	f := &function{
 		profile:    profile,
-		nMax:       queueing.MaxContainers(p.cfg.Delta, p.usableMemMB(), p.cfg.ContainerMemMB),
+		nMax:       nMax,
 		onComplete: onComplete,
 		usage:      resources.NewUsage(float64(p.sim.Now())),
 	}
@@ -240,6 +248,8 @@ func (p *Platform) usableMemMB() float64 {
 	return p.cfg.Node.MemMB * (1 - p.cfg.MemReserve)
 }
 
+// mustFn looks up a registered function. It panics on an unknown name:
+// invoking a function that was never registered is a wiring bug.
 func (p *Platform) mustFn(name string) *function {
 	f, ok := p.fns[name]
 	if !ok {
@@ -540,6 +550,7 @@ func (p *Platform) ReleaseIdle(name string) int {
 // the profiling harness uses it to hold the pressure on one resource at an
 // exact level while building meter curves (Fig. 8) and latency surfaces
 // (Fig. 9). Pass a negative vector to remove previously injected demand.
+// It panics if removal drives the aggregate demand negative.
 func (p *Platform) InjectDemand(v resources.Vector) {
 	next := p.demand.Add(v)
 	for _, k := range resources.Kinds() {
@@ -604,6 +615,8 @@ func (p *Platform) MemAllocatedMB() float64 { return p.memMB }
 
 // lognormalParams converts a (mean, CV) pair into the (mu, sigma) of the
 // underlying normal. A zero CV degenerates to a deterministic value.
+// It panics if the mean is non-positive; Config.Validate rules that out
+// for every caller.
 func lognormalParams(mean, cv float64) (mu, sigma float64) {
 	if mean <= 0 {
 		panic(fmt.Sprintf("serverless: non-positive lognormal mean %v", mean))

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic pseudo-random number generator based
 // on splitmix64. Simulations must be reproducible across runs and across
@@ -37,11 +40,25 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
+//
+// The reduction uses Lemire's multiply-shift method with rejection: a
+// plain modulo maps 2^64 inputs onto n buckets unevenly whenever n does
+// not divide 2^64, biasing small buckets by up to n/2^64. The widening
+// multiply picks the bucket, and the rare draws that land in the uneven
+// remainder zone (fewer than n of 2^64 values) are redrawn.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) mod n: first unbiased low word
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Exp returns an exponentially distributed value with the given rate

@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+// The golden streams pin the generator's exact output for seed 42. Any
+// change to the splitmix64 core or the Intn reduction shifts every
+// simulation result in the repo, so a drift here must be a deliberate,
+// reviewed decision — update the constants only alongside an explanation
+// of why the stream moved.
+
+func TestGoldenUint64Stream(t *testing.T) {
+	want := []uint64{
+		0xbdd732262feb6e95,
+		0x28efe333b266f103,
+		0x47526757130f9f52,
+		0x581ce1ff0e4ae394,
+		0x09bc585a244823f2,
+		0xde4431fa3c80db06,
+		0x37e9671c45376d5d,
+		0xccf635ee9e9e2fa4,
+	}
+	r := NewRNG(42)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("Uint64 draw %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+func TestGoldenIntnStream(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{10, []int{7, 1, 2, 3, 0, 8, 2, 8, 3, 6, 2, 4, 5, 5, 6, 2}},
+		{7, []int{5, 1, 1, 2, 0, 6, 1, 5, 2, 4, 1, 3, 3, 3, 4, 1}},
+	}
+	for _, c := range cases {
+		r := NewRNG(42)
+		for i, w := range c.want {
+			if got := r.Intn(c.n); got != w {
+				t.Fatalf("Intn(%d) draw %d = %d, want %d", c.n, i, got, w)
+			}
+		}
+	}
+}
+
+// TestIntnRange exercises the rejection path's bounds across sizes that
+// stress the reduction: tiny n, a power of two, a Mersenne-like odd n,
+// and values near the int32/int64 boundaries.
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 7, 64, 1 << 31, (1 << 62) + 1} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+// TestIntnUniform is a chi-square goodness-of-fit check on Intn(k). The
+// old modulo reduction's bias (~n/2^64) is far too small to trip any
+// sample-based test; what this protects against is a botched rejection
+// loop that skews whole buckets.
+func TestIntnUniform(t *testing.T) {
+	const k = 13
+	const draws = 130000
+	var counts [k]int
+	r := NewRNG(12345)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(k)]++
+	}
+	expected := float64(draws) / k
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 99.9th percentile of chi-square with k-1 = 12 degrees of freedom.
+	// A correct generator fails this roughly once per thousand seeds; the
+	// seed is fixed, so a failure means the reduction is broken.
+	if chi2 > 32.909 {
+		t.Fatalf("chi-square = %v over 32.909 (counts %v)", chi2, counts)
+	}
+}

@@ -110,7 +110,8 @@ func (s *Simulator) At(at Time, fn func()) EventHandle {
 	return EventHandle{ev: ev}
 }
 
-// After schedules fn to run delay seconds from now.
+// After schedules fn to run delay seconds from now. It panics if the
+// delay is negative.
 func (s *Simulator) After(delay float64, fn func()) EventHandle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -154,6 +155,7 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Every schedules fn at the given period, starting one period from now,
 // until the returned stop function is called. fn observes the simulator's
 // clock; the ticker reschedules itself after each firing.
+// It panics if the period is not positive.
 func (s *Simulator) Every(period float64, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")

@@ -22,6 +22,7 @@ type P2Quantile struct {
 }
 
 // NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
+// It panics if p is outside that interval.
 func NewP2Quantile(p float64) *P2Quantile {
 	if p <= 0 || p >= 1 {
 		panic(fmt.Sprintf("stats: P² quantile %v out of (0,1)", p))

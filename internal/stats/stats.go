@@ -86,7 +86,7 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.data))
 }
 
-// Min returns the smallest observation.
+// Min returns the smallest observation. It panics on an empty sample.
 func (s *Sample) Min() float64 {
 	if len(s.data) == 0 {
 		panic("stats: Min of empty sample")
@@ -95,7 +95,7 @@ func (s *Sample) Min() float64 {
 	return s.data[0]
 }
 
-// Max returns the largest observation.
+// Max returns the largest observation. It panics on an empty sample.
 func (s *Sample) Max() float64 {
 	if len(s.data) == 0 {
 		panic("stats: Max of empty sample")
@@ -183,7 +183,7 @@ type EWMA struct {
 }
 
 // NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
-// alpha tracks changes faster.
+// alpha tracks changes faster. It panics if alpha is out of range.
 func NewEWMA(alpha float64) *EWMA {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
@@ -216,6 +216,7 @@ type Histogram struct {
 }
 
 // NewHistogram creates a histogram with n bins spanning [lo, hi).
+// It panics on an empty range or non-positive bin count.
 func NewHistogram(lo, hi float64, n int) *Histogram {
 	if n <= 0 || hi <= lo {
 		panic("stats: invalid histogram bounds")

@@ -64,7 +64,8 @@ type Diurnal struct {
 }
 
 // NewDiurnal builds a Didi-shaped daily trace. dayLength is the virtual
-// duration of one day; seed fixes the noise.
+// duration of one day; seed fixes the noise. It panics on a non-positive
+// day length or an inverted peak/trough pair.
 func NewDiurnal(peakQPS, troughQPS, dayLength float64, seed uint64) *Diurnal {
 	if peakQPS <= 0 || troughQPS < 0 || troughQPS >= peakQPS {
 		panic(fmt.Sprintf("trace: invalid diurnal peak=%v trough=%v", peakQPS, troughQPS))
