@@ -38,7 +38,30 @@ import (
 	"amoeba/internal/metrics"
 	"amoeba/internal/resources"
 	"amoeba/internal/trace"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
+)
+
+// Unit types re-exported from internal/units. All public signatures that
+// carry a duration, an arrival rate, or a unitless ratio use these defined
+// types instead of bare float64, so the compiler (and the unitcheck
+// analyzer in cmd/amoeba-vet) can catch argument swaps and dimensional
+// mistakes. Convert explicitly: Seconds(1.5), qps.Raw().
+type (
+	// Seconds is a duration or point in virtual time.
+	Seconds = units.Seconds
+	// Millis is a duration in milliseconds (reporting only).
+	Millis = units.Millis
+	// QPS is an arrival rate in queries per second.
+	QPS = units.QPS
+	// ServiceRate is a per-container processing capacity μ.
+	ServiceRate = units.ServiceRate
+	// Fraction is a dimensionless ratio, usually in [0, 1].
+	Fraction = units.Fraction
+	// MegaBytes is a memory size.
+	MegaBytes = units.MegaBytes
+	// Cores is a CPU core count (fractional allowed).
+	Cores = units.Cores
 )
 
 // Variant selects the system under evaluation.
@@ -108,12 +131,12 @@ const (
 type Trace = trace.Trace
 
 // ConstantTrace returns a flat trace at the given QPS.
-func ConstantTrace(qps float64) Trace { return trace.Constant{QPS: qps} }
+func ConstantTrace(qps QPS) Trace { return trace.Constant{QPS: qps.Raw()} }
 
 // DiurnalTrace returns a Didi-shaped daily load pattern: a deep night
 // trough, morning and evening peaks, deterministic noise.
-func DiurnalTrace(peakQPS, troughQPS, dayLengthSeconds float64, seed uint64) Trace {
-	return trace.NewDiurnal(peakQPS, troughQPS, dayLengthSeconds, seed)
+func DiurnalTrace(peakQPS, troughQPS QPS, dayLength Seconds, seed uint64) Trace {
+	return trace.NewDiurnal(peakQPS.Raw(), troughQPS.Raw(), dayLength.Raw(), seed)
 }
 
 // LoadTraceCSV reads a two-column "time_seconds,qps" series into a
@@ -129,12 +152,12 @@ func SampledTrace(times, rates []float64) (Trace, error) {
 
 // ScenarioOptions tunes NewScenario.
 type ScenarioOptions struct {
-	// DayLength is the virtual length of one diurnal day in seconds.
-	DayLength float64
+	// DayLength is the virtual length of one diurnal day.
+	DayLength Seconds
 	// Days is the horizon in days.
 	Days float64
 	// TroughFraction is the night trough as a fraction of the peak.
-	TroughFraction float64
+	TroughFraction Fraction
 	// Seed fixes all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
 	// Background adds the paper's §VII-A co-tenants to the shared pool.
@@ -165,9 +188,11 @@ func NewScenario(v Variant, prof Benchmark, opts ScenarioOptions) Scenario {
 		Variant: v,
 		Services: []ServiceSpec{{
 			Profile: prof,
-			Trace:   DiurnalTrace(prof.PeakQPS, prof.PeakQPS*opts.TroughFraction, opts.DayLength, opts.Seed),
+			Trace: DiurnalTrace(QPS(prof.PeakQPS),
+				units.Scale(QPS(prof.PeakQPS), opts.TroughFraction.Raw()),
+				opts.DayLength, opts.Seed),
 		}},
-		Duration: opts.DayLength * opts.Days,
+		Duration: units.Scale(opts.DayLength, opts.Days),
 		Seed:     opts.Seed,
 	}
 	if opts.Background {
@@ -182,7 +207,7 @@ func Run(sc Scenario) *Result { return core.Run(sc) }
 
 // BackgroundTenants returns the §VII-A co-tenant set (float, dd,
 // cloud_stor at a low diurnal load) for custom scenarios.
-func BackgroundTenants(dayLength float64, seed uint64) []ServiceSpec {
+func BackgroundTenants(dayLength Seconds, seed uint64) []ServiceSpec {
 	return core.BackgroundTenants(dayLength, seed)
 }
 

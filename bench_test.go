@@ -23,6 +23,7 @@ import (
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
 	"amoeba/internal/trace"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -252,14 +253,14 @@ func BenchmarkExtElasticity(b *testing.B) {
 // bisection the controller actually uses.
 func BenchmarkAblationDiscriminant(b *testing.B) {
 	const mu, n, td, r = 4.0, 10, 0.4, 0.95
-	var cf, bs float64
+	var cf, bs units.QPS
 	for i := 0; i < b.N; i++ {
 		bs = queueing.DiscriminantBisect(mu, n, td, r)
-		q := queueing.MMN{Lambda: bs, Mu: mu, N: n}
+		q := queueing.MMN{Lambda: bs.Raw(), Mu: mu, N: n}
 		cf = queueing.DiscriminantClosedForm(q, td, r)
 	}
-	b.ReportMetric(bs, "bisect_qps")
-	b.ReportMetric(cf, "closed_form_qps")
+	b.ReportMetric(bs.Raw(), "bisect_qps")
+	b.ReportMetric(cf.Raw(), "closed_form_qps")
 }
 
 // BenchmarkAblationInterferenceModel quantifies the additive-vs-q-norm gap
@@ -303,13 +304,13 @@ func BenchmarkAblationWeights(b *testing.B) {
 	}
 	learned := monitor.Weights{W: [3]float64{0.3, 0.8, 0.1}, Learned: true}
 	pressure := [3]float64{0.2, 0.3, 0.1}
-	var admW0, admL float64
+	var admW0, admL units.QPS
 	for i := 0; i < b.N; i++ {
 		admW0 = pred.AdmissibleLoad(monitor.InitialWeights(), pressure)
 		admL = pred.AdmissibleLoad(learned, pressure)
 	}
-	b.ReportMetric(admW0, "w0_admissible_qps")
-	b.ReportMetric(admL, "calibrated_admissible_qps")
+	b.ReportMetric(admW0.Raw(), "w0_admissible_qps")
+	b.ReportMetric(admL.Raw(), "calibrated_admissible_qps")
 }
 
 // BenchmarkAblationWarmPoolStrategy compares two cold-start mitigations
@@ -355,7 +356,8 @@ func benchScenario(cfg experiments.Config, prof workload.Profile, v core.Variant
 		Variant: v,
 		Services: []core.ServiceSpec{{
 			Profile: prof,
-			Trace:   trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*cfg.TroughFraction, cfg.DayLength, cfg.Seed),
+			Trace: trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*cfg.TroughFraction.Raw(),
+				cfg.DayLength.Raw(), cfg.Seed),
 		}},
 		Background: core.BackgroundTenants(cfg.DayLength, cfg.Seed+7),
 		Duration:   cfg.DayLength,

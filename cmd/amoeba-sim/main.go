@@ -51,8 +51,8 @@ func main() {
 
 	opts := amoeba.DefaultScenarioOptions()
 	opts.Days = *days
-	opts.DayLength = *dayLength
-	opts.TroughFraction = *trough
+	opts.DayLength = amoeba.Seconds(*dayLength)
+	opts.TroughFraction = amoeba.Fraction(*trough)
 	opts.Seed = *seed
 	opts.Background = !*noBG
 

@@ -1,35 +1,52 @@
 // Command amoeba-vet is the repository's static-analysis multichecker: it
-// runs the standard `go vet` suite followed by the four amoeba-specific
-// analyzers that machine-check the determinism and concurrency invariants
-// the reproduction depends on:
+// runs the standard `go vet` suite followed by the six amoeba-specific
+// analyzers that machine-check the determinism, concurrency, and
+// dimensional invariants the reproduction depends on:
 //
 //	nodeterminism  no wall-clock or global-rand calls in simulation code
 //	seedflow       sim.RNG provenance: explicit seeds, no copies, no sharing
 //	paniccheck     library panics must be errors, contracts, or invariants
 //	lockcheck      no mutex held across sends, Wait, or goroutine spawns
+//	unitcheck      dimensional soundness of internal/units arithmetic,
+//	               conversions, and call sites
+//	boundscheck    constants must respect //amoeba:range annotations
 //
 // Usage:
 //
-//	go run ./cmd/amoeba-vet [-no-govet] [packages]
+//	go run ./cmd/amoeba-vet [-no-govet] [-suppressions] [packages]
 //
 // Packages default to ./... and accept the go tool's pattern syntax
 // restricted to this module. The exit status is non-zero when any
 // analyzer reports a finding, so CI can gate on it. Findings are
 // suppressed site-by-site with //amoeba:allow <analyzer> <reason>
 // annotations (see internal/analysis).
+//
+// The -suppressions mode audits those annotations instead of running the
+// analyzers: it lists every //amoeba:allow in the selected packages —
+// test files included — with its analyzer and justification, and exits
+// non-zero if any annotation lacks a reason. The suppression inventory
+// is the other half of the invariant contract: every escape hatch must
+// say why it is safe.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"amoeba/internal/analysis"
+	"amoeba/internal/analysis/boundscheck"
 	"amoeba/internal/analysis/lockcheck"
 	"amoeba/internal/analysis/nodeterminism"
 	"amoeba/internal/analysis/paniccheck"
 	"amoeba/internal/analysis/seedflow"
+	"amoeba/internal/analysis/unitcheck"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -37,11 +54,15 @@ var analyzers = []*analysis.Analyzer{
 	seedflow.Analyzer,
 	paniccheck.Analyzer,
 	lockcheck.Analyzer,
+	unitcheck.Analyzer,
+	boundscheck.Analyzer,
 }
 
 func main() {
 	noGovet := flag.Bool("no-govet", false, "skip running the standard `go vet` suite first")
 	list := flag.Bool("list", false, "list the amoeba analyzers and exit")
+	suppressions := flag.Bool("suppressions", false,
+		"list every //amoeba:allow annotation with its reason; fail on missing reasons")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +75,14 @@ func main() {
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	if *suppressions {
+		if err := reportSuppressions(patterns); err != nil {
+			fmt.Fprintln(os.Stderr, "amoeba-vet:", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	failed := false
@@ -79,23 +108,107 @@ func main() {
 	}
 }
 
-func runAmoebaAnalyzers(patterns []string) ([]analysis.Diagnostic, error) {
+// modulePackages expands the package patterns against the enclosing
+// module, returning the module root, module path, and import paths.
+func modulePackages(patterns []string) (modRoot, modPath string, paths []string, err error) {
 	wd, err := os.Getwd()
 	if err != nil {
-		return nil, err
+		return "", "", nil, err
 	}
-	modRoot, err := analysis.FindModuleRoot(wd)
+	modRoot, err = analysis.FindModuleRoot(wd)
 	if err != nil {
-		return nil, err
+		return "", "", nil, err
 	}
-	modPath, err := analysis.ModulePath(modRoot)
+	modPath, err = analysis.ModulePath(modRoot)
 	if err != nil {
-		return nil, err
+		return "", "", nil, err
 	}
-	paths, err := analysis.ExpandPatterns(modRoot, modPath, patterns)
+	paths, err = analysis.ExpandPatterns(modRoot, modPath, patterns)
+	return modRoot, modPath, paths, err
+}
+
+func runAmoebaAnalyzers(patterns []string) ([]analysis.Diagnostic, error) {
+	modRoot, modPath, paths, err := modulePackages(patterns)
 	if err != nil {
 		return nil, err
 	}
 	loader := analysis.NewLoader(analysis.ModuleResolver(modRoot, modPath))
 	return analysis.Run(loader, paths, analyzers)
+}
+
+// suppression is one //amoeba:allow annotation.
+type suppression struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// reportSuppressions scans every Go file — tests included, since
+// suppressions in tests gate invariants just the same — of the selected
+// packages and prints the suppression inventory. Annotations without a
+// justification fail the audit.
+func reportSuppressions(patterns []string) error {
+	modRoot, modPath, paths, err := modulePackages(patterns)
+	if err != nil {
+		return err
+	}
+	resolve := analysis.ModuleResolver(modRoot, modPath)
+	fset := token.NewFileSet()
+	var all []suppression
+	for _, path := range paths {
+		dir, ok := resolve(path)
+		if !ok {
+			return fmt.Errorf("cannot resolve package %q", path)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					aname, reason, ok := analysis.ParseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					all = append(all, suppression{
+						pos:      fset.Position(c.Pos()),
+						analyzer: aname,
+						reason:   reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].pos, all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	missing := 0
+	for _, s := range all {
+		reason := s.reason
+		if reason == "" {
+			reason = "<MISSING REASON>"
+			missing++
+		}
+		fmt.Printf("%s:%d: %-15s %s\n", s.pos.Filename, s.pos.Line, s.analyzer, reason)
+	}
+	fmt.Printf("%d suppression(s)\n", len(all))
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "amoeba-vet: %d suppression(s) lack a reason\n", missing)
+		os.Exit(1)
+	}
+	return nil
 }

@@ -19,7 +19,7 @@ func main() {
 	opts.Seed = 42
 
 	fmt.Printf("one diurnal day of %s under Amoeba (peak %.0f QPS, trough %.0f QPS)\n\n",
-		prof.Name, prof.PeakQPS, prof.PeakQPS*opts.TroughFraction)
+		prof.Name, prof.PeakQPS, prof.PeakQPS*opts.TroughFraction.Raw())
 	sr := amoeba.Run(amoeba.NewScenario(amoeba.Amoeba, prof, opts)).Services[prof.Name]
 
 	// Render the timeline: one column per snapshot, load on top, the

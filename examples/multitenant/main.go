@@ -11,8 +11,14 @@ import (
 	"amoeba"
 )
 
+// diurnal builds a day-shaped trace peaking at the profile's peak QPS.
+func diurnal(prof amoeba.Benchmark, trough amoeba.Fraction, day amoeba.Seconds, seed uint64) amoeba.Trace {
+	peak := amoeba.QPS(prof.PeakQPS)
+	return amoeba.DiurnalTrace(peak, amoeba.QPS(prof.PeakQPS*trough.Raw()), day, seed)
+}
+
 func main() {
-	const day = 3600.0
+	const day = amoeba.Seconds(3600)
 	float, _ := amoeba.BenchmarkByName("float")
 	dd, _ := amoeba.BenchmarkByName("dd")
 	stor, _ := amoeba.BenchmarkByName("cloud_stor")
@@ -23,9 +29,9 @@ func main() {
 	sc := amoeba.Scenario{
 		Variant: amoeba.Amoeba,
 		Services: []amoeba.ServiceSpec{
-			{Profile: float, Trace: amoeba.DiurnalTrace(float.PeakQPS, float.PeakQPS*0.2, day, 1)},
-			{Profile: dd, Trace: amoeba.DiurnalTrace(dd.PeakQPS, dd.PeakQPS*0.2, day, 2)},
-			{Profile: stor, Trace: amoeba.DiurnalTrace(stor.PeakQPS, stor.PeakQPS*0.25, day, 3)},
+			{Profile: float, Trace: diurnal(float, amoeba.Fraction(0.2), day, 1)},
+			{Profile: dd, Trace: diurnal(dd, amoeba.Fraction(0.2), day, 2)},
+			{Profile: stor, Trace: diurnal(stor, amoeba.Fraction(0.25), day, 3)},
 		},
 		Background: amoeba.BackgroundTenants(day, 99),
 		Duration:   day,

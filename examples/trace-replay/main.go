@@ -69,7 +69,7 @@ func main() {
 	sc := amoeba.Scenario{
 		Variant:    amoeba.Amoeba,
 		Services:   []amoeba.ServiceSpec{{Profile: prof, Trace: tr}},
-		Background: amoeba.BackgroundTenants(3600, 7),
+		Background: amoeba.BackgroundTenants(amoeba.Seconds(3600), 7),
 		Duration:   3600,
 		Seed:       7,
 	}

@@ -63,6 +63,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Deps looks up an already-loaded dependency package by import path,
+	// giving analyzers access to the syntax (and hence annotations) of the
+	// packages this one imports. Nil when the runner provides no loader.
+	Deps func(path string) (*Package, bool)
 
 	diags  []Diagnostic
 	allows map[string]map[int][]string // filename -> line -> allowed analyzer names
@@ -98,15 +102,15 @@ func (p *Pass) allowedAt(pos token.Position, name string) bool {
 			lines := make(map[int][]string)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					names, ok := parseAllow(c.Text)
+					name, _, ok := ParseAllow(c.Text)
 					if !ok {
 						continue
 					}
 					// The annotation covers its own line (trailing
 					// comment) and the next line (comment-above form).
 					line := p.Fset.Position(c.Pos()).Line
-					lines[line] = append(lines[line], names...)
-					lines[line+1] = append(lines[line+1], names...)
+					lines[line] = append(lines[line], name)
+					lines[line+1] = append(lines[line+1], name)
 				}
 			}
 			p.allows[fname] = lines
@@ -120,17 +124,20 @@ func (p *Pass) allowedAt(pos token.Position, name string) bool {
 	return false
 }
 
-// parseAllow extracts the analyzer name from an //amoeba:allow comment.
-func parseAllow(text string) ([]string, bool) {
-	body, ok := strings.CutPrefix(text, "//amoeba:allow")
-	if !ok {
-		return nil, false
+// ParseAllow parses an //amoeba:allow comment into the suppressed
+// analyzer name and the justification that follows it. The reason is
+// empty when the annotation names an analyzer but gives no justification
+// (amoeba-vet -suppressions treats that as an error).
+func ParseAllow(text string) (name, reason string, ok bool) {
+	body, found := strings.CutPrefix(text, "//amoeba:allow")
+	if !found {
+		return "", "", false
 	}
 	fields := strings.Fields(body)
 	if len(fields) == 0 {
-		return nil, false
+		return "", "", false
 	}
-	return fields[:1], true
+	return fields[0], strings.Join(fields[1:], " "), true
 }
 
 // Diagnostics returns the findings reported so far, sorted by position.

@@ -31,13 +31,7 @@ import (
 // checks the diagnostics against the packages' want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	loader := analysis.NewLoader(func(path string) (string, bool) {
-		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
-		if st, err := os.Stat(dir); err == nil && st.IsDir() {
-			return dir, true
-		}
-		return "", false
-	})
+	loader := newTestdataLoader(testdata)
 	for _, path := range pkgPaths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -50,6 +44,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Deps:      loader.Loaded,
 		}
 		if err := a.Run(pass); err != nil {
 			t.Errorf("%s on %s: %v", a.Name, path, err)
@@ -57,6 +52,26 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		}
 		check(t, loader, pkg, pass.Diagnostics())
 	}
+}
+
+// newTestdataLoader resolves import paths inside <testdata>/src first,
+// falling back to the standard library.
+func newTestdataLoader(testdata string) *analysis.Loader {
+	return analysis.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// reporter is the slice of testing.T the checker needs; tests of the
+// harness itself substitute a recorder to observe failure detection.
+type reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
 }
 
 type want struct {
@@ -67,7 +82,7 @@ type want struct {
 	matched bool
 }
 
-func check(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, diags []analysis.Diagnostic) {
+func check(t reporter, loader *analysis.Loader, pkg *analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	wants := collectWants(t, loader, pkg.Files)
 	for _, d := range diags {
@@ -93,7 +108,7 @@ func matchWant(wants []*want, d analysis.Diagnostic) *want {
 	return nil
 }
 
-func collectWants(t *testing.T, loader *analysis.Loader, files []*ast.File) []*want {
+func collectWants(t reporter, loader *analysis.Loader, files []*ast.File) []*want {
 	t.Helper()
 	var out []*want
 	for _, f := range files {
@@ -131,17 +146,23 @@ func parseWants(text string) ([]string, error) {
 		if quote != '"' && quote != '`' {
 			return nil, fmt.Errorf("want operand must be quoted: %s", rest)
 		}
-		end := strings.IndexByte(rest[1:], quote)
-		if end < 0 {
+		end := 1
+		for end < len(rest) && rest[end] != quote {
+			if quote == '"' && rest[end] == '\\' {
+				end++ // the escaped byte cannot close the operand
+			}
+			end++
+		}
+		if end >= len(rest) {
 			return nil, fmt.Errorf("unterminated want operand: %s", rest)
 		}
-		lit := rest[:end+2]
+		lit := rest[:end+1]
 		s, err := strconv.Unquote(lit)
 		if err != nil {
 			return nil, fmt.Errorf("bad want operand %s: %v", lit, err)
 		}
 		out = append(out, s)
-		rest = strings.TrimSpace(rest[end+2:])
+		rest = strings.TrimSpace(rest[end+1:])
 	}
 	return out, nil
 }

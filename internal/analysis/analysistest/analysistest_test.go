@@ -1,0 +1,242 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"amoeba/internal/analysis"
+)
+
+// callcheck is a minimal test analyzer: it reports every call to a
+// function literally named boom. It exists only to exercise the harness.
+var callcheck = &analysis.Analyzer{
+	Name: "callcheck",
+	Doc:  "report calls to boom (harness self-test fixture)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestRunHappyPath drives the real Run entry point end to end: wants in
+// both quoting styles, one clean line between them, exact 1:1 matching.
+func TestRunHappyPath(t *testing.T) {
+	Run(t, "testdata", callcheck, "selftest")
+}
+
+func TestParseWants(t *testing.T) {
+	cases := []struct {
+		text    string
+		want    []string
+		wantErr string
+	}{
+		{text: "// ordinary comment", want: nil},
+		{text: "//amoeba:allow callcheck reason", want: nil},
+		{text: `// want "one"`, want: []string{"one"}},
+		{text: "// want `backquoted`", want: []string{"backquoted"}},
+		{text: `// want "first" "second"`, want: []string{"first", "second"}},
+		{text: "// want \"mixed\" `styles`", want: []string{"mixed", "styles"}},
+		{text: `// want "escaped \"quote\""`, want: []string{`escaped "quote"`}},
+		{text: `// want bare`, wantErr: "must be quoted"},
+		{text: `// want "unterminated`, wantErr: "unterminated"},
+		{text: `// want "ok" dangling`, wantErr: "must be quoted"},
+	}
+	for _, c := range cases {
+		got, err := parseWants(c.text)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseWants(%q) err = %v, want containing %q", c.text, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWants(%q): %v", c.text, err)
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("parseWants(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestMatchWant(t *testing.T) {
+	mk := func(file string, line int, pat string) *want {
+		return &want{file: file, line: line, re: regexp.MustCompile(pat), raw: pat}
+	}
+	diag := func(file string, line int, msg string) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Pos:     token.Position{Filename: file, Line: line},
+			Message: msg,
+		}
+	}
+	wants := []*want{
+		mk("a.go", 3, "boom"),
+		mk("a.go", 3, "boom"),
+		mk("b.go", 7, "^exact$"),
+	}
+	// Wrong file, wrong line, non-matching message: no match.
+	if matchWant(wants, diag("c.go", 3, "boom")) != nil {
+		t.Error("matched a diagnostic from the wrong file")
+	}
+	if matchWant(wants, diag("a.go", 4, "boom")) != nil {
+		t.Error("matched a diagnostic on the wrong line")
+	}
+	if matchWant(wants, diag("b.go", 7, "exactly not")) != nil {
+		t.Error("matched a diagnostic the regexp rejects")
+	}
+	// Two diagnostics on one line consume the two wants one each; a
+	// third finds nothing left.
+	for i := 0; i < 2; i++ {
+		w := matchWant(wants, diag("a.go", 3, "a boom happened"))
+		if w == nil {
+			t.Fatalf("diagnostic %d on a.go:3 found no free want", i+1)
+		}
+		w.matched = true
+	}
+	if matchWant(wants, diag("a.go", 3, "a boom happened")) != nil {
+		t.Error("third diagnostic matched an already-consumed want")
+	}
+}
+
+// recorder satisfies reporter and captures failures instead of failing
+// the real test, so the harness's failure detection is itself testable.
+type recorder struct {
+	errors []string
+	fatal  string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(r)
+}
+
+// runCheck loads the selftest fixture and feeds the given diagnostics
+// through check under a recorder.
+func runCheck(t *testing.T, mutate func(*analysis.Package) []analysis.Diagnostic) *recorder {
+	t.Helper()
+	loader := newTestdataLoader("testdata")
+	pkg, err := loader.Load("selftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil && p != any(rec) {
+				panic(p)
+			}
+		}()
+		check(rec, loader, pkg, mutate(pkg))
+	}()
+	return rec
+}
+
+// correctDiags reports one "call to boom" per want line in the fixture.
+func correctDiags(t *testing.T, loader *analysis.Loader, pkg *analysis.Package) []analysis.Diagnostic {
+	t.Helper()
+	pass := &analysis.Pass{
+		Analyzer:  callcheck,
+		Fset:      loader.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := callcheck.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return pass.Diagnostics()
+}
+
+func TestCheckDetectsMissingDiagnostic(t *testing.T) {
+	// An analyzer that reports nothing must trip every want.
+	rec := runCheck(t, func(*analysis.Package) []analysis.Diagnostic { return nil })
+	if len(rec.errors) != 2 {
+		t.Fatalf("got %d failures, want 2 (one per unmatched want): %q", len(rec.errors), rec.errors)
+	}
+	for _, e := range rec.errors {
+		if !strings.Contains(e, "expected diagnostic matching") {
+			t.Errorf("failure %q does not name the unmatched want", e)
+		}
+	}
+}
+
+func TestCheckDetectsUnexpectedDiagnostic(t *testing.T) {
+	loader := newTestdataLoader("testdata")
+	pkg, err := loader.Load("selftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := correctDiags(t, loader, pkg)
+	// An extra diagnostic on a line with no want must be flagged, and
+	// only it: the genuine ones still match.
+	extra := analysis.Diagnostic{
+		Pos:     token.Position{Filename: diags[0].Pos.Filename, Line: 1},
+		Message: "spurious finding",
+	}
+	rec := runCheck(t, func(*analysis.Package) []analysis.Diagnostic {
+		return append(diags, extra)
+	})
+	if len(rec.errors) != 1 || !strings.Contains(rec.errors[0], "unexpected diagnostic") {
+		t.Fatalf("got failures %q, want exactly one unexpected-diagnostic report", rec.errors)
+	}
+}
+
+func TestCheckPassesOnExactMatch(t *testing.T) {
+	loader := newTestdataLoader("testdata")
+	pkg, err := loader.Load("selftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := correctDiags(t, loader, pkg)
+	rec := runCheck(t, func(*analysis.Package) []analysis.Diagnostic { return diags })
+	if len(rec.errors) != 0 || rec.fatal != "" {
+		t.Fatalf("clean run reported failures: %q / %q", rec.errors, rec.fatal)
+	}
+}
+
+func TestCollectWantsRejectsBadRegexp(t *testing.T) {
+	// A want with an invalid regexp is a fixture bug and must be fatal.
+	loader := newTestdataLoader("testdata")
+	pkg, err := loader.Load("selftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	src := pkg.Files[0]
+	bad := &ast.Comment{Slash: src.End(), Text: "// want \"](unbalanced\""}
+	withBad := append(src.Comments, &ast.CommentGroup{List: []*ast.Comment{bad}})
+	broken := *src
+	broken.Comments = withBad
+	func() {
+		defer func() {
+			if p := recover(); p != nil && p != any(rec) {
+				panic(p)
+			}
+		}()
+		collectWants(rec, loader, []*ast.File{&broken})
+	}()
+	if !strings.Contains(rec.fatal, "bad want regexp") {
+		t.Fatalf("fatal = %q, want a bad-regexp report", rec.fatal)
+	}
+}

@@ -1,0 +1,14 @@
+// Package selftest is the fixture for the harness's own tests: the
+// callcheck test analyzer reports every call to boom, so the want
+// comments below must match exactly, and the clean calls must not.
+package selftest
+
+func boom() {}
+
+func ok() {}
+
+func use() {
+	boom() // want `call to boom`
+	ok()
+	boom() // want "call to boom"
+}

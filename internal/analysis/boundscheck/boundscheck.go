@@ -1,0 +1,352 @@
+// Package boundscheck enforces declared numeric ranges. A named type or
+// struct field can carry a range annotation in its doc (or trailing)
+// comment:
+//
+//	//amoeba:range (0,1]
+//
+// with the usual interval notation: square bracket = inclusive bound,
+// parenthesis = exclusive. boundscheck then flags every compile-time
+// constant that lands outside the interval:
+//
+//   - constants typed as an annotated named type, wherever they appear
+//     (conversions, implicit conversions at call sites and assignments,
+//     const declarations), and
+//   - constants written to an annotated struct field, in composite
+//     literals (keyed or positional) and plain assignments.
+//
+// Only constants are checked — runtime values are the job of the
+// Validate methods this repository pairs with every config struct. The
+// annotation is the machine-checked twin of the prose "in (0,1]" that
+// doc comments already carry: percentiles, utilisations, EWMA factors
+// and margin fractions are all trivially transposable float64 constants,
+// and a transposed 95 for 0.95 type-checks silently.
+//
+// Annotations on types and fields of *imported* packages are honoured
+// too (the annotation tables of dependencies are read through the
+// loader), so a constant flowing into controller.Config.SwitchInMargin
+// from another package is still range-checked. Malformed annotations in
+// the package under analysis are themselves reported.
+package boundscheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer is the boundscheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundscheck",
+	Doc:  "flag constants outside a declared //amoeba:range interval",
+	Run:  run,
+}
+
+// rangeMarker introduces a range annotation inside a comment.
+const rangeMarker = "//amoeba:range"
+
+// interval is a numeric interval with per-bound openness.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+}
+
+func (iv interval) contains(v float64) bool {
+	if v < iv.lo || (iv.loOpen && v == iv.lo) {
+		return false
+	}
+	if v > iv.hi || (iv.hiOpen && v == iv.hi) {
+		return false
+	}
+	return true
+}
+
+func (iv interval) String() string {
+	open, close := "[", "]"
+	if iv.loOpen {
+		open = "("
+	}
+	if iv.hiOpen {
+		close = ")"
+	}
+	return fmt.Sprintf("%s%g,%g%s", open, iv.lo, iv.hi, close)
+}
+
+// parseInterval parses "[0,1]", "(0,1.5]", etc.
+func parseInterval(s string) (interval, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 5 {
+		return interval{}, fmt.Errorf("interval %q too short", s)
+	}
+	var iv interval
+	switch s[0] {
+	case '[':
+	case '(':
+		iv.loOpen = true
+	default:
+		return interval{}, fmt.Errorf("interval %q must open with [ or (", s)
+	}
+	switch s[len(s)-1] {
+	case ']':
+	case ')':
+		iv.hiOpen = true
+	default:
+		return interval{}, fmt.Errorf("interval %q must close with ] or )", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	if len(parts) != 2 {
+		return interval{}, fmt.Errorf("interval %q needs exactly one comma", s)
+	}
+	var err error
+	if iv.lo, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return interval{}, fmt.Errorf("interval %q: bad lower bound", s)
+	}
+	if iv.hi, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return interval{}, fmt.Errorf("interval %q: bad upper bound", s)
+	}
+	if iv.hi < iv.lo {
+		return interval{}, fmt.Errorf("interval %q: bounds out of order", s)
+	}
+	return iv, nil
+}
+
+// malformed is one unparseable annotation, positioned for reporting.
+type malformed struct {
+	pos token.Pos
+	err error
+}
+
+// table holds the parsed annotations of one package, keyed by the
+// declaration position of the annotated type name or field name.
+type table struct {
+	ranges    map[token.Pos]interval
+	malformed []malformed
+}
+
+// rangeFromComments extracts the annotation from the comment groups.
+func rangeFromComments(t *table, namePos []token.Pos, groups ...*ast.CommentGroup) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, rangeMarker)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			iv, err := parseInterval(rest)
+			if err != nil {
+				t.malformed = append(t.malformed, malformed{pos: c.Pos(), err: err})
+				continue
+			}
+			for _, p := range namePos {
+				t.ranges[p] = iv
+			}
+		}
+	}
+}
+
+// buildTable scans a package's files for annotations.
+func buildTable(files []*ast.File) *table {
+	t := &table{ranges: make(map[token.Pos]interval)}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				// A single-spec type declaration keeps the doc on the
+				// GenDecl; attribute it to the spec's name.
+				if n.Tok == token.TYPE && len(n.Specs) == 1 {
+					if ts, ok := n.Specs[0].(*ast.TypeSpec); ok {
+						rangeFromComments(t, []token.Pos{ts.Name.Pos()}, n.Doc)
+					}
+				}
+			case *ast.TypeSpec:
+				rangeFromComments(t, []token.Pos{n.Name.Pos()}, n.Doc, n.Comment)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					var pos []token.Pos
+					for _, name := range field.Names {
+						pos = append(pos, name.Pos())
+					}
+					if len(pos) > 0 {
+						rangeFromComments(t, pos, field.Doc, field.Comment)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+// checker carries the per-run state: the analyzed package's table plus
+// lazily built tables for its dependencies.
+type checker struct {
+	pass *analysis.Pass
+	own  *table
+	deps map[string]*table
+}
+
+// rangeFor looks up the annotation on a type name or field object.
+func (c *checker) rangeFor(obj types.Object) (interval, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return interval{}, false
+	}
+	if obj.Pkg() == c.pass.Pkg {
+		iv, ok := c.own.ranges[obj.Pos()]
+		return iv, ok
+	}
+	path := obj.Pkg().Path()
+	t, ok := c.deps[path]
+	if !ok {
+		t = &table{ranges: map[token.Pos]interval{}}
+		if c.pass.Deps != nil {
+			if dep, loaded := c.pass.Deps(path); loaded {
+				t = buildTable(dep.Files)
+			}
+		}
+		c.deps[path] = t
+	}
+	iv, ok := t.ranges[obj.Pos()]
+	return iv, ok
+}
+
+// typeRange resolves the annotation of a (possibly named) type.
+func (c *checker) typeRange(t types.Type) (string, interval, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", interval{}, false
+	}
+	iv, ok := c.rangeFor(named.Obj())
+	return named.Obj().Name(), iv, ok
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, own: buildTable(pass.Files), deps: make(map[string]*table)}
+	for _, m := range c.own.malformed {
+		pass.Reportf(m.pos, "malformed range annotation: %v", m.err)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				c.checkCompositeLit(n)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case ast.Expr:
+				return !c.checkTypedConstant(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constValue extracts a float from a constant expression's recorded
+// value.
+func constValue(tv types.TypeAndValue) (float64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(v)
+	return f, true
+}
+
+// checkTypedConstant flags constants whose own type carries a range.
+// It reports whether the node was flagged (the caller then prunes the
+// subtree so the literal inside a flagged conversion is not re-flagged).
+func (c *checker) checkTypedConstant(e ast.Expr) bool {
+	// References to declared constants are skipped: the declaration site
+	// (here or in the constant's own package) carries the diagnostic.
+	switch ref := e.(type) {
+	case *ast.Ident:
+		if _, isConst := c.pass.TypesInfo.Uses[ref].(*types.Const); isConst {
+			return false
+		}
+	case *ast.SelectorExpr:
+		if _, isConst := c.pass.TypesInfo.Uses[ref.Sel].(*types.Const); isConst {
+			return false
+		}
+	}
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	name, iv, ok := c.typeRange(tv.Type)
+	if !ok {
+		return false
+	}
+	v, ok := constValue(tv)
+	if !ok || iv.contains(v) {
+		return false
+	}
+	c.pass.Reportf(e.Pos(), "constant %v is outside %s's declared range %v", v, name, iv)
+	return true
+}
+
+// checkCompositeLit range-checks constant fields of struct literals
+// against field annotations.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var field types.Object
+		value := elt
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			key, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			field = c.pass.TypesInfo.Uses[key]
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+		}
+		c.checkFieldWrite(field, value)
+	}
+}
+
+// checkAssign range-checks constant assignments to annotated fields.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		c.checkFieldWrite(c.pass.TypesInfo.Uses[sel.Sel], as.Rhs[i])
+	}
+}
+
+func (c *checker) checkFieldWrite(field types.Object, value ast.Expr) {
+	if field == nil {
+		return
+	}
+	iv, ok := c.rangeFor(field)
+	if !ok {
+		return
+	}
+	v, ok := constValue(c.pass.TypesInfo.Types[value])
+	if !ok || iv.contains(v) {
+		return
+	}
+	c.pass.Reportf(value.Pos(), "constant %v is outside field %s's declared range %v",
+		v, field.Name(), iv)
+}

@@ -1,0 +1,77 @@
+package boundscheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amoeba/internal/analysis"
+)
+
+func TestParseInterval(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		in05    bool // whether 0.5 is inside
+		in0     bool // whether 0 is inside
+		in1     bool // whether 1 is inside
+	}{
+		{"[0,1]", false, true, true, true},
+		{"(0,1]", false, true, false, true},
+		{"[0,1)", false, true, true, false},
+		{"(0,1)", false, true, false, false},
+		{" (0, 1.5] ", false, true, false, true},
+		{"[-1,0.75]", false, true, true, false},
+		{"0,1", true, false, false, false},
+		{"[0,1", true, false, false, false},
+		{"[1,0]", true, false, false, false},
+		{"[a,b]", true, false, false, false},
+		{"[0 1]", true, false, false, false},
+		{"", true, false, false, false},
+	}
+	for _, c := range cases {
+		iv, err := parseInterval(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseInterval(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got := iv.contains(0.5); got != c.in05 {
+			t.Errorf("%q contains(0.5) = %v, want %v", c.in, got, c.in05)
+		}
+		if got := iv.contains(0); got != c.in0 {
+			t.Errorf("%q contains(0) = %v, want %v", c.in, got, c.in0)
+		}
+		if got := iv.contains(1); got != c.in1 {
+			t.Errorf("%q contains(1) = %v, want %v", c.in, got, c.in1)
+		}
+	}
+}
+
+// TestMalformedAnnotationReported loads a testdata package whose only
+// annotation is unparseable and asserts the analyzer reports it. (The
+// want-comment harness cannot express this case: the diagnostic lands on
+// the annotation comment's own line, which a line comment cannot share
+// with a want comment.)
+func TestMalformedAnnotationReported(t *testing.T) {
+	loader := analysis.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	diags, err := analysis.Run(loader, []string{"boundsmalformed"}, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed range annotation") {
+		t.Errorf("diagnostic %q does not mention the malformed annotation", diags[0].Message)
+	}
+}

@@ -1,0 +1,12 @@
+package boundscheck_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/boundscheck"
+)
+
+func TestBoundsCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", boundscheck.Analyzer, "boundsuser")
+}

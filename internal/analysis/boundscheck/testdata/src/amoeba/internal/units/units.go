@@ -1,0 +1,12 @@
+// Package units is a minimal stub of the repository's internal/units
+// carrying the Fraction range annotation, so boundsuser can exercise
+// cross-package annotation lookup.
+package units
+
+// Fraction is a dimensionless ratio constrained to the unit interval.
+//
+//amoeba:range [0,1]
+type Fraction float64
+
+// Seconds is a duration (unannotated: any constant is legal).
+type Seconds float64

@@ -1,0 +1,8 @@
+// Package boundsmalformed carries an unparseable range annotation;
+// boundscheck must report it rather than silently ignoring the contract.
+package boundsmalformed
+
+// Broken has a malformed interval (no comma).
+//
+//amoeba:range (0 1]
+type Broken float64

@@ -1,0 +1,73 @@
+// Package boundsuser exercises the boundscheck contract: constants
+// outside a declared //amoeba:range — on a local annotated type, an
+// imported annotated type, or an annotated struct field — are flagged;
+// in-range constants, runtime values, and suppressed sites are not.
+package boundsuser
+
+import "amoeba/internal/units"
+
+// Utilisation is a load fraction of capacity; slight overload is legal.
+//
+//amoeba:range (0,1.5]
+type Utilisation float64
+
+// Config carries annotated fields with open and closed bounds.
+type Config struct {
+	// Quantile is the QoS latency quantile.
+	//
+	//amoeba:range (0,1)
+	Quantile float64
+	// Headroom multiplies provisioned capacity.
+	//
+	//amoeba:range [1,4]
+	Headroom float64
+	// Period has no annotation: any constant is legal.
+	Period float64
+}
+
+// LocalType covers constants typed as the locally annotated type.
+func LocalType() {
+	_ = Utilisation(0.8)    // in range: fine
+	_ = Utilisation(1.5)    // closed upper bound: fine
+	_ = Utilisation(0)      // want `constant 0 is outside Utilisation's declared range \(0,1\.5\]`
+	_ = Utilisation(2)      // want `constant 2 is outside Utilisation's declared range`
+	var u Utilisation = 1.7 // want `constant 1\.7 is outside Utilisation's declared range`
+	_ = u
+
+	const overload Utilisation = 1.9 // want `constant 1\.9 is outside Utilisation's declared range`
+	_ = overload
+}
+
+// ImportedType covers constants typed as the imported annotated type.
+func ImportedType() {
+	_ = units.Fraction(0.95) // in range: fine
+	_ = units.Fraction(95)   // want `constant 95 is outside Fraction's declared range \[0,1\]`
+	_ = units.Seconds(1e9)   // unannotated type: fine
+	var raw float64
+	_ = units.Fraction(raw) // runtime value: boundscheck only sees constants
+}
+
+// TakesFraction receives the imported annotated type, so an implicit
+// constant conversion at the call site is checked too.
+func TakesFraction(f units.Fraction) {}
+
+// CallSites covers implicit conversions at calls.
+func CallSites() {
+	TakesFraction(0.5) // fine
+	TakesFraction(1.2) // want `constant 1\.2 is outside Fraction's declared range`
+}
+
+// FieldWrites covers annotated struct fields in literals and
+// assignments.
+func FieldWrites() {
+	_ = Config{Quantile: 0.95, Headroom: 1.25} // fine
+	_ = Config{Quantile: 1}                    // want `constant 1 is outside field Quantile's declared range \(0,1\)`
+	_ = Config{0.5, 9, 10}                     // want `constant 9 is outside field Headroom's declared range \[1,4\]`
+	var c Config
+	c.Headroom = 2   // fine
+	c.Headroom = 0.5 // want `constant 0\.5 is outside field Headroom's declared range`
+	c.Period = 1e6   // unannotated field: fine
+	//amoeba:allow boundscheck stress test deliberately over-provisions
+	c.Headroom = 8
+	_ = c
+}

@@ -61,6 +61,15 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return l.load(path, dir)
 }
 
+// Loaded returns the package for an import path if it has already been
+// loaded (directly or as a dependency), without triggering a load. It
+// backs Pass.Deps: by the time an analyzer runs, everything its package
+// imports is in the cache.
+func (l *Loader) Loaded(path string) (*Package, bool) {
+	p, ok := l.pkgs[path]
+	return p, ok
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, "", 0)

@@ -172,6 +172,7 @@ func Run(loader *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, e
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Deps:      loader.Loaded,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, path, err)

@@ -1,0 +1,40 @@
+// Package units is a minimal stub of the repository's internal/units:
+// unitcheck recognises unit types by their defining package's
+// "internal/units" path suffix, so this stub stands in for the real one.
+package units
+
+// Seconds is a duration in seconds.
+type Seconds float64
+
+// Millis is a duration in milliseconds.
+type Millis float64
+
+// QPS is an arrival rate.
+type QPS float64
+
+// ServiceRate is a per-container service rate.
+type ServiceRate float64
+
+// Fraction is a dimensionless ratio.
+type Fraction float64
+
+// MegaBytes is a memory size.
+type MegaBytes float64
+
+// Cores is a CPU capacity.
+type Cores float64
+
+// Raw strips the unit explicitly.
+func (s Seconds) Raw() float64 { return float64(s) }
+
+// Raw strips the unit explicitly.
+func (q QPS) Raw() float64 { return float64(q) }
+
+// Raw strips the unit explicitly.
+func (f Fraction) Raw() float64 { return float64(f) }
+
+// Ratio returns the dimensionless quotient of two same-unit quantities.
+func Ratio[T ~float64](num, den T) float64 { return float64(num) / float64(den) }
+
+// Scale multiplies a dimensioned quantity by a dimensionless factor.
+func Scale[T ~float64](x T, factor float64) T { return T(float64(x) * factor) }

@@ -1,0 +1,83 @@
+// Package unituser exercises the unitcheck contract: same-unit products
+// and quotients, unit-stripping or unit-bending conversions, untyped
+// literals flowing into unit-typed parameters, and probable argument
+// transpositions are flagged; constant scaling, explicit Raw calls,
+// boundary conversions to non-unit types, composite-literal fields, and
+// annotated suppressions are not.
+package unituser
+
+import "amoeba/internal/units"
+
+// Time is a non-unit named float type, standing in for boundary types
+// like sim.Time that unit values legitimately convert into.
+type Time float64
+
+// Arithmetic covers rule 1: same-unit multiplication and division.
+func Arithmetic(a, b units.QPS, s, t units.Seconds, f, g units.Fraction) {
+	_ = a * b             // want `QPS \* QPS has dimension QPS²`
+	_ = s / t             // want `Seconds / Seconds is a dimensionless ratio`
+	_ = 2 * a             // constant scale factor: fine
+	_ = a * 3             // fine
+	_ = f * g             // Fraction is dimensionless: fine
+	_ = units.Ratio(s, t) // the sanctioned ratio spelling
+	_ = a + b             // sums share the dimension
+	_ = s - t
+	//amoeba:allow unitcheck squared rate wanted for a variance computation
+	_ = a * a
+}
+
+// Conversions covers rule 2: float64() strips, cross-unit bends.
+func Conversions(q units.QPS, s units.Seconds) {
+	_ = float64(q)     // want `float64\(\.\.\.\) strips the QPS unit`
+	_ = units.QPS(s)   // want `reinterprets Seconds as QPS`
+	_ = q.Raw()        // explicit strip: fine
+	_ = Time(s)        // boundary conversion to a non-unit type: fine
+	_ = units.QPS(1.5) // constructing from a constant: fine
+	var raw float64
+	_ = units.Seconds(raw) // typing a raw value: fine
+}
+
+// TakesSeconds has a single unit-typed parameter.
+func TakesSeconds(timeout units.Seconds) {}
+
+// TakesMany mirrors Eq. 8's parameter shape: three Seconds then a
+// Fraction.
+func TakesMany(coldStart, qosTarget, execTime units.Seconds, e units.Fraction) {}
+
+// Profile carries a unit-typed field.
+type Profile struct {
+	Timeout units.Seconds
+}
+
+// Literals covers rule 3: bare literals into unit-typed parameters.
+func Literals(e units.Fraction) {
+	TakesSeconds(1.5)                // want `untyped literal passed as Seconds parameter "timeout"`
+	TakesSeconds(-2)                 // want `untyped literal passed as Seconds parameter "timeout"`
+	TakesSeconds(units.Seconds(1.5)) // constructor conversion: fine
+	const warm units.Seconds = 3
+	TakesSeconds(warm)        // named constant carries its type: fine
+	_ = Profile{Timeout: 1.5} // composite-literal field: fine (named slot)
+	TakesMany(1, 2, 3, e)     // want `parameter "coldStart"` `parameter "qosTarget"` `parameter "execTime"`
+}
+
+// Cfg carries a run of same-typed fields for the selector-swap case.
+type Cfg struct {
+	ColdStart, QoSTarget, ExecTime units.Seconds
+}
+
+// Swaps covers rule 4: identifier/parameter cross-matches in same-typed
+// runs.
+func Swaps(coldStart, qosTarget, execTime units.Seconds, e units.Fraction, c Cfg) {
+	TakesMany(coldStart, qosTarget, execTime, e)       // aligned: fine
+	TakesMany(execTime, qosTarget, coldStart, e)       // want `argument "execTime" is passed as parameter "coldStart" but matches parameter "execTime"` `argument "coldStart" is passed as parameter "execTime" but matches parameter "coldStart"`
+	TakesMany(c.QoSTarget, c.ColdStart, c.ExecTime, e) // want `argument "QoSTarget" is passed as parameter "coldStart"` `argument "ColdStart" is passed as parameter "qosTarget"`
+}
+
+// Raw3 has three bare float64 parameters: rule 4 applies to those too.
+func Raw3(alpha, beta, gamma float64) float64 { return alpha + beta + gamma }
+
+// SwapsBare shows the bare-float64 run case.
+func SwapsBare(alpha, beta, gamma float64) {
+	_ = Raw3(alpha, beta, gamma) // aligned: fine
+	_ = Raw3(beta, alpha, gamma) // want `argument "beta" is passed as parameter "alpha"` `argument "alpha" is passed as parameter "beta"`
+}

@@ -1,0 +1,286 @@
+// Package unitcheck enforces the dimensional conventions of
+// internal/units. Go's type system already rejects mixing two different
+// unit types in one expression; unitcheck closes the remaining holes the
+// compiler cannot see:
+//
+//  1. Same-unit multiplication or division: QPS·QPS has dimension
+//     queries²/s² but still type-checks as QPS, and Seconds/Seconds is a
+//     dimensionless ratio mistyped as a duration. Both are flagged
+//     (use .Raw() for genuine raw-space math, units.Ratio for ratios).
+//     Fraction is exempt — it is dimensionless, so Fraction·Fraction is
+//     meaningful. Constant operands are also exempt: an untyped constant
+//     adopts the unit type without carrying a dimension of its own
+//     (2 * budget is a scaled budget, not a budget²).
+//
+//  2. Unit-stripping and unit-bending conversions: float64(x) on a
+//     unit-typed x silently discards the dimension (use .Raw(), which
+//     documents the boundary and survives refactors that retype x), and
+//     converting one unit type directly to another (units.QPS(seconds))
+//     reinterprets a number in a different dimension without any scaling.
+//     Conversions to non-unit named types (sim.Time, metrics fields) are
+//     deliberate boundary crossings and stay legal.
+//
+//  3. Bare numeric literals as unit-typed call arguments: the call
+//     SamplePeriod(2, 0.5, 0.3, 0.1, 1) type-checks because untyped
+//     constants convert implicitly, but nothing stops the 0.5 and 0.3
+//     from being transposed. Wrapping each literal in its constructor
+//     (units.Seconds(0.5)) makes the dimension part of the call site.
+//     Composite-literal fields are exempt: the field name already names
+//     the quantity.
+//
+//  4. Probable argument transposition: in a call whose signature has
+//     three or more consecutive parameters of one numeric type, an
+//     argument whose identifier equals the *name of a different
+//     parameter* in that run is almost certainly in the wrong slot
+//     (SamplePeriod(coldStart, execTime, qosTarget, ...) compiles either
+//     way).
+//
+// The units package itself is exempt from rules 1 and 2 — that is where
+// raw-space arithmetic legitimately lives.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer is the unitcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag dimensionally unsound arithmetic, conversions, and call sites on internal/units types",
+	Run:  run,
+}
+
+// unitsPkgSuffix identifies the defining package of the unit types. The
+// suffix match lets analyzer testdata stub the package under its own
+// module path.
+const unitsPkgSuffix = "internal/units"
+
+// unitType returns the named unit type of t, if t is a defined float64
+// from the units package.
+func unitType(t types.Type) (*types.Named, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, false
+	}
+	p := obj.Pkg().Path()
+	if p != unitsPkgSuffix && !strings.HasSuffix(p, "/"+unitsPkgSuffix) {
+		return nil, false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return nil, false
+	}
+	return named, true
+}
+
+// isFloatish reports whether t is float64 or a defined type over float64
+// (the parameter types rule 4 considers swappable).
+func isFloatish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func run(pass *analysis.Pass) error {
+	inUnits := pass.Pkg.Path() == unitsPkgSuffix ||
+		strings.HasSuffix(pass.Pkg.Path(), "/"+unitsPkgSuffix)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !inUnits {
+					checkSameUnitMulQuo(pass, n)
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					if !inUnits {
+						checkConversion(pass, n, tv.Type)
+					}
+					return true
+				}
+				checkLiteralArgs(pass, n)
+				checkSwappedArgs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSameUnitMulQuo implements rule 1.
+func checkSameUnitMulQuo(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op.String() != "*" && e.Op.String() != "/" {
+		return
+	}
+	xt, yt := pass.TypesInfo.Types[e.X], pass.TypesInfo.Types[e.Y]
+	// A constant operand is an untyped scale factor that merely adopted
+	// the unit type; only two non-constant unit values multiply/divide
+	// dimensions.
+	if xt.Value != nil || yt.Value != nil {
+		return
+	}
+	nx, ok := unitType(xt.Type)
+	if !ok {
+		return
+	}
+	ny, ok := unitType(yt.Type)
+	if !ok || nx.Obj().Name() != ny.Obj().Name() {
+		return
+	}
+	name := nx.Obj().Name()
+	if name == "Fraction" {
+		return // dimensionless: products and ratios of fractions are sound
+	}
+	if e.Op.String() == "*" {
+		pass.Reportf(e.Pos(),
+			"%s * %s has dimension %s² but type %s; convert with .Raw() if the square is intended",
+			name, name, name, name)
+	} else {
+		pass.Reportf(e.Pos(),
+			"%s / %s is a dimensionless ratio typed %s; use units.Ratio", name, name, name)
+	}
+}
+
+// checkConversion implements rule 2 for the conversion call e with target
+// type target.
+func checkConversion(pass *analysis.Pass, e *ast.CallExpr, target types.Type) {
+	if len(e.Args) != 1 {
+		return
+	}
+	argType := pass.TypesInfo.Types[e.Args[0]].Type
+	src, srcIsUnit := unitType(argType)
+	if !srcIsUnit {
+		return
+	}
+	if b, ok := types.Unalias(target).(*types.Basic); ok && b.Kind() == types.Float64 {
+		pass.Reportf(e.Pos(),
+			"float64(...) strips the %s unit; use .Raw() at the boundary", src.Obj().Name())
+		return
+	}
+	if dst, ok := unitType(target); ok && dst.Obj().Name() != src.Obj().Name() {
+		pass.Reportf(e.Pos(),
+			"conversion reinterprets %s as %s without scaling; go through .Raw() or a conversion method",
+			src.Obj().Name(), dst.Obj().Name())
+	}
+}
+
+// signatureFor resolves the callee's signature, or nil for builtins and
+// other non-signature callees.
+func signatureFor(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// fixedParams returns the non-variadic parameter prefix the positional
+// arguments map onto, or nil when the mapping is not one-to-one.
+func fixedParams(sig *types.Signature, call *ast.CallExpr) []*types.Var {
+	if sig == nil || call.Ellipsis.IsValid() {
+		return nil
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		n--
+	}
+	if len(call.Args) < n {
+		return nil // f(g()) multi-value spread: no positional mapping
+	}
+	out := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		out[i] = sig.Params().At(i)
+	}
+	return out
+}
+
+// checkLiteralArgs implements rule 3.
+func checkLiteralArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	params := fixedParams(signatureFor(pass, call), call)
+	for i, p := range params {
+		named, ok := unitType(p.Type())
+		if !ok {
+			continue
+		}
+		arg := call.Args[i]
+		if e, isUnary := arg.(*ast.UnaryExpr); isUnary {
+			arg = e.X
+		}
+		if _, isLit := arg.(*ast.BasicLit); !isLit {
+			continue
+		}
+		pass.Reportf(call.Args[i].Pos(),
+			"untyped literal passed as %s parameter %q; wrap it in units.%s(...)",
+			named.Obj().Name(), p.Name(), named.Obj().Name())
+	}
+}
+
+// argName extracts the identifier an argument reads from: a plain ident,
+// or the final selector of a field access (cfg.coldStart -> "coldStart").
+func argName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// checkSwappedArgs implements rule 4.
+func checkSwappedArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	params := fixedParams(signatureFor(pass, call), call)
+	if len(params) < 3 {
+		return
+	}
+	// Find maximal runs of >=3 consecutive identically-typed float
+	// parameters.
+	for start := 0; start < len(params); {
+		t := params[start].Type()
+		if !isFloatish(t) {
+			start++
+			continue
+		}
+		end := start + 1
+		for end < len(params) && types.Identical(params[end].Type(), t) {
+			end++
+		}
+		if end-start >= 3 {
+			checkRun(pass, call, params, start, end)
+		}
+		start = end
+	}
+}
+
+func checkRun(pass *analysis.Pass, call *ast.CallExpr, params []*types.Var, start, end int) {
+	for i := start; i < end; i++ {
+		name := strings.ToLower(argName(call.Args[i]))
+		if name == "" {
+			continue
+		}
+		own := strings.ToLower(params[i].Name())
+		if own == "" || own == "_" || name == own {
+			continue
+		}
+		for j := start; j < end; j++ {
+			other := strings.ToLower(params[j].Name())
+			if j == i || other == "" || other == "_" {
+				continue
+			}
+			if name == other {
+				pass.Reportf(call.Args[i].Pos(),
+					"argument %q is passed as parameter %q but matches parameter %q of the same type; probable transposition",
+					argName(call.Args[i]), params[i].Name(), params[j].Name())
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/unitcheck"
+)
+
+func TestUnitCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", unitcheck.Analyzer, "unituser")
+}
+
+// TestUnitsPackageExempt runs the analyzer over the stub units package
+// itself: the raw-space arithmetic inside the defining package must not
+// be flagged.
+func TestUnitsPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", unitcheck.Analyzer, "amoeba/internal/units")
+}

@@ -13,6 +13,7 @@ import (
 	"amoeba/internal/monitor"
 	"amoeba/internal/queueing"
 	"amoeba/internal/surfaces"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -25,14 +26,14 @@ type Predictor struct {
 	Surfaces *surfaces.Set
 	NMax     int
 	// Quantile is the QoS latency quantile (0.95).
-	Quantile float64
+	Quantile units.Fraction
 }
 
 // NewPredictor builds a predictor, validating the profile, surfaces, and
 // discriminant parameters — all of which trace back to user-supplied
 // scenario configuration, so malformed inputs are reported as errors
 // rather than aborting a whole experiment suite.
-func NewPredictor(prof workload.Profile, set *surfaces.Set, nMax int, quantile float64) (*Predictor, error) {
+func NewPredictor(prof workload.Profile, set *surfaces.Set, nMax int, quantile units.Fraction) (*Predictor, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,7 +59,7 @@ func NewPredictor(prof workload.Profile, set *surfaces.Set, nMax int, quantile f
 // features e_i = (L_i − base_i)/base_i of Eq. 6, where L_i is the surface
 // lookup at (P_i, load) and base_i the same surface at zero pressure —
 // isolating the contention effect from the service's own-load effect.
-func (p *Predictor) Features(pressure [3]float64, load float64) [3]float64 {
+func (p *Predictor) Features(pressure [3]float64, load units.QPS) [3]float64 {
 	var e [3]float64
 	for i, sf := range p.Surfaces.Surfaces {
 		base := sf.BaselineAt(load)
@@ -67,7 +68,7 @@ func (p *Predictor) Features(pressure [3]float64, load float64) [3]float64 {
 			e[i] = 0
 			continue
 		}
-		v := (l - base) / base
+		v := units.Ratio(l-base, base)
 		if v < 0 {
 			v = 0
 		}
@@ -80,8 +81,8 @@ func (p *Predictor) Features(pressure [3]float64, load float64) [3]float64 {
 // with zero ambient pressure — the service's own-load contention folded
 // in, ambient contention excluded. Averaged over the three surfaces'
 // zero-pressure rows (they estimate the same quantity independently).
-func (p *Predictor) BaselineBody(load float64) float64 {
-	s := 0.0
+func (p *Predictor) BaselineBody(load units.QPS) units.Seconds {
+	s := units.Seconds(0)
 	for _, sf := range p.Surfaces.Surfaces {
 		s += sf.BaselineAt(load)
 	}
@@ -90,13 +91,15 @@ func (p *Predictor) BaselineBody(load float64) float64 {
 
 // Mu implements Eq. 6: μ_n = 1 / (L₀ · S + α) where S is the predicted
 // ambient slowdown under the calibrated weights, L₀ the load-dependent
-// baseline body time, and α the warm-path platform overheads.
-func (p *Predictor) Mu(w monitor.Weights, pressure [3]float64, load float64) float64 {
+// baseline body time, and α the warm-path platform overheads. Both terms
+// of the denominator are times (the slowdown S is dimensionless), so the
+// reciprocal is a per-container rate.
+func (p *Predictor) Mu(w monitor.Weights, pressure [3]float64, load units.QPS) units.ServiceRate {
 	e := p.Features(pressure, load)
 	s := w.Predict(e)
 	l0 := p.BaselineBody(load)
 	alpha := p.Profile.Overheads.Total()
-	return 1 / (l0*s + alpha)
+	return units.ServiceRate(1 / (l0.Raw()*s + alpha))
 }
 
 // AdmissibleLoad returns λ(μ_n): the largest arrival rate the serverless
@@ -104,11 +107,11 @@ func (p *Predictor) Mu(w monitor.Weights, pressure [3]float64, load float64) flo
 // latency within target, given the current pressure. Because μ depends on
 // the service's own load through the surfaces, the bound is found by a
 // short fixed-point iteration.
-func (p *Predictor) AdmissibleLoad(w monitor.Weights, pressure [3]float64) float64 {
-	lambda := p.Profile.PeakQPS * 0.25 // starting guess
+func (p *Predictor) AdmissibleLoad(w monitor.Weights, pressure [3]float64) units.QPS {
+	lambda := units.Scale(units.QPS(p.Profile.PeakQPS), 0.25) // starting guess
 	for iter := 0; iter < 8; iter++ {
 		mu := p.Mu(w, pressure, lambda)
-		next := queueing.DiscriminantBisect(mu, p.NMax, p.Profile.QoSTarget, p.Quantile)
+		next := queueing.DiscriminantBisect(mu, p.NMax, units.Seconds(p.Profile.QoSTarget), p.Quantile)
 		if next <= 0 {
 			return 0
 		}
@@ -123,30 +126,37 @@ func (p *Predictor) AdmissibleLoad(w monitor.Weights, pressure [3]float64) float
 // ClosedFormAdmissibleLoad evaluates the paper's literal Eq. 5 at the
 // operating point (used by the ablation comparing the closed form with
 // the bisection).
-func (p *Predictor) ClosedFormAdmissibleLoad(w monitor.Weights, pressure [3]float64, load float64) float64 {
+func (p *Predictor) ClosedFormAdmissibleLoad(w monitor.Weights, pressure [3]float64, load units.QPS) units.QPS {
 	mu := p.Mu(w, pressure, load)
-	q := queueing.MMN{Lambda: load, Mu: mu, N: p.NMax}
+	q := queueing.MMN{Lambda: load.Raw(), Mu: mu.Raw(), N: p.NMax}
 	if !q.Stable() {
 		return 0
 	}
-	return queueing.DiscriminantClosedForm(q, p.Profile.QoSTarget, p.Quantile)
+	return queueing.DiscriminantClosedForm(q, units.Seconds(p.Profile.QoSTarget), p.Quantile)
 }
 
 // Config tunes the deployment controller.
 type Config struct {
-	// DecisionPeriod is how often the controller re-evaluates, seconds.
-	DecisionPeriod float64
+	// DecisionPeriod is how often the controller re-evaluates.
+	DecisionPeriod units.Seconds
 	// LoadAlpha is the EWMA factor of the load estimator.
-	LoadAlpha float64
+	LoadAlpha units.Fraction
 	// SwitchInMargin: switch to serverless only when the load is below
 	// this fraction of λ(μ_n) — hysteresis against flapping.
+	//
+	//amoeba:range (0,1]
 	SwitchInMargin float64
 	// SwitchOutMargin: switch back to IaaS when the load exceeds this
-	// fraction of λ(μ_n).
+	// fraction of λ(μ_n). May exceed 1: running slightly past the
+	// admissible load is how hysteresis avoids flapping.
+	//
+	//amoeba:range (0,1.5]
 	SwitchOutMargin float64
 	// MaxPostSwitchPressure bounds the predicted platform pressure after
 	// a switch-in; above it the switch would endanger co-located services
 	// (§III's safety rule).
+	//
+	//amoeba:range (0,2]
 	MaxPostSwitchPressure float64
 }
 
@@ -181,11 +191,11 @@ func (c Config) Validate() error {
 
 // Decision is the controller's verdict for one period.
 type Decision struct {
-	At             float64
+	At             units.Seconds
 	Target         metrics.Backend
-	LoadQPS        float64
-	AdmissibleQPS  float64
-	Mu             float64
+	LoadQPS        units.QPS
+	AdmissibleQPS  units.QPS
+	Mu             units.ServiceRate
 	Pressure       [3]float64
 	WeightsLearned bool
 	// Blocked is set when a switch-in was indicated by load but vetoed by
@@ -199,7 +209,7 @@ type Decision struct {
 type Controller struct {
 	cfg       Config
 	predictor *Predictor
-	loadEWMA  float64
+	loadEWMA  units.QPS
 	loadInit  bool
 	mode      metrics.Backend
 	decisions []Decision
@@ -223,17 +233,17 @@ func (c *Controller) Predictor() *Predictor { return c.predictor }
 
 // ObserveLoad folds a fresh arrival-rate measurement (QPS over the last
 // period) into the load estimate.
-func (c *Controller) ObserveLoad(qps float64) {
+func (c *Controller) ObserveLoad(qps units.QPS) {
 	if !c.loadInit {
 		c.loadEWMA, c.loadInit = qps, true
 		return
 	}
-	a := c.cfg.LoadAlpha
-	c.loadEWMA = a*qps + (1-a)*c.loadEWMA
+	a := c.cfg.LoadAlpha.Raw()
+	c.loadEWMA = units.Scale(qps, a) + units.Scale(c.loadEWMA, 1-a)
 }
 
 // Load returns the current load estimate V_u.
-func (c *Controller) Load() float64 { return c.loadEWMA }
+func (c *Controller) Load() units.QPS { return c.loadEWMA }
 
 // Mode returns the mode the controller currently targets.
 func (c *Controller) Mode() metrics.Backend { return c.mode }
@@ -246,7 +256,7 @@ func (c *Controller) SetMode(m metrics.Backend) { c.mode = m }
 // runtime computes it from the service's demand vector and the monitor's
 // estimate; the controller vetoes switch-ins that would push any
 // dimension past the safety bound.
-func (c *Controller) Decide(now float64, w monitor.Weights, pressure [3]float64,
+func (c *Controller) Decide(now units.Seconds, w monitor.Weights, pressure [3]float64,
 	postSwitchPressure [3]float64) Decision {
 
 	adm := c.predictor.AdmissibleLoad(w, pressure)
@@ -257,7 +267,7 @@ func (c *Controller) Decide(now float64, w monitor.Weights, pressure [3]float64,
 	}
 	switch c.mode {
 	case metrics.BackendIaaS:
-		if c.loadEWMA <= c.cfg.SwitchInMargin*adm {
+		if c.loadEWMA <= units.Scale(adm, c.cfg.SwitchInMargin) {
 			safe := true
 			for _, p := range postSwitchPressure {
 				if p > c.cfg.MaxPostSwitchPressure {
@@ -272,7 +282,7 @@ func (c *Controller) Decide(now float64, w monitor.Weights, pressure [3]float64,
 			}
 		}
 	case metrics.BackendServerless:
-		if c.loadEWMA > c.cfg.SwitchOutMargin*adm {
+		if c.loadEWMA > units.Scale(adm, c.cfg.SwitchOutMargin) {
 			d.Target = metrics.BackendIaaS
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"amoeba/internal/metrics"
 	"amoeba/internal/monitor"
 	"amoeba/internal/surfaces"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -80,7 +81,7 @@ func TestMuEq6(t *testing.T) {
 	neutral := monitor.Weights{W: [3]float64{1, 1, 1}, Learned: true}
 	mu0 := p.Mu(neutral, [3]float64{}, 10)
 	want := 1 / (prof.ExecTime + prof.Overheads.Total())
-	if math.Abs(mu0-want) > 1e-9 {
+	if math.Abs(mu0.Raw()-want) > 1e-9 {
 		t.Errorf("mu at zero pressure = %v, want %v", mu0, want)
 	}
 	// w0's safety floor lowers μ even without contention.
@@ -126,7 +127,7 @@ func TestClosedFormNearBisection(t *testing.T) {
 	if cf <= 0 {
 		t.Fatalf("closed form = %v at the bisection threshold %v", cf, adm)
 	}
-	if rel := math.Abs(cf-adm) / adm; rel > 0.25 {
+	if rel := math.Abs(units.Ratio(cf-adm, adm)); rel > 0.25 {
 		t.Errorf("closed form %v vs bisection %v (rel %v)", cf, adm, rel)
 	}
 }
@@ -179,7 +180,7 @@ func TestControllerHysteresisBand(t *testing.T) {
 	cfg := DefaultConfig()
 	pred := testPredictor(t)
 	adm := pred.AdmissibleLoad(monitor.InitialWeights(), [3]float64{})
-	mid := adm * (cfg.SwitchInMargin + cfg.SwitchOutMargin) / 2
+	mid := units.Scale(adm, (cfg.SwitchInMargin+cfg.SwitchOutMargin)/2)
 
 	c := mustNew(t, cfg, pred)
 	c.ObserveLoad(mid)
@@ -202,7 +203,7 @@ func TestObserveLoadEWMA(t *testing.T) {
 	}
 	c.ObserveLoad(20)
 	want := 0.35*20 + 0.65*10
-	if math.Abs(c.Load()-want) > 1e-12 {
+	if math.Abs(c.Load().Raw()-want) > 1e-12 {
 		t.Errorf("EWMA = %v, want %v", c.Load(), want)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
 	"amoeba/internal/trace"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -72,7 +73,7 @@ type Scenario struct {
 	Variant    Variant
 	Services   []ServiceSpec // managed services (the benchmarks)
 	Background []ServiceSpec // co-tenants pinned to the serverless pool
-	Duration   float64       // virtual seconds
+	Duration   units.Seconds // virtual seconds
 	Seed       uint64
 
 	// Serverless overrides the pool config (nil = DefaultConfig).
@@ -80,10 +81,10 @@ type Scenario struct {
 	// IaaS overrides the VM platform config (nil = DefaultConfig).
 	IaaS *iaas.Config
 	// AllowedError is Eq. 8's e, deciding the sample period.
-	AllowedError float64
+	AllowedError units.Fraction
 	// SnapshotPeriod densifies the timeline for Fig. 12/13 (0 = engine
 	// sample period only).
-	SnapshotPeriod float64
+	SnapshotPeriod units.Seconds
 }
 
 // Validate reports scenario errors.
@@ -124,7 +125,7 @@ func (sc *Scenario) iaasConfig() iaas.Config {
 	return iaas.DefaultConfig()
 }
 
-func (sc *Scenario) allowedError() float64 {
+func (sc *Scenario) allowedError() units.Fraction {
 	if sc.AllowedError > 0 {
 		return sc.AllowedError
 	}
@@ -163,7 +164,7 @@ func (r *ServiceResult) TotalUsage() resources.Vector {
 // Result is the outcome of one scenario run.
 type Result struct {
 	Variant    Variant
-	Duration   float64
+	Duration   units.Seconds
 	Services   map[string]*ServiceResult
 	Background map[string]*metrics.Collector
 	// MeterCPUSeconds is the monitor probes' CPU cost (§VII-E).
@@ -257,7 +258,7 @@ func Run(sc Scenario) *Result {
 			})
 
 			set := SurfaceSet(prof, slCfg)
-			pred, err := controller.NewPredictor(prof, set, pool.NMax(prof.Name), 0.95)
+			pred, err := controller.NewPredictor(prof, set, pool.NMax(prof.Name), units.Fraction(0.95))
 			if err != nil {
 				panic(err) // scenario validation already vouched for these inputs
 			}
@@ -268,7 +269,8 @@ func Run(sc Scenario) *Result {
 
 			engCfg := engine.DefaultConfig(slCfg.Node.Capacity())
 			engCfg.SamplePeriod, err = queueing.SamplePeriod(
-				slCfg.ColdStartMean, prof.QoSTarget, prof.ExecTime, sc.allowedError(), 10)
+				slCfg.ColdStartMean, units.Seconds(prof.QoSTarget),
+				units.Seconds(prof.ExecTime), sc.allowedError(), units.Seconds(10))
 			if err != nil {
 				panic(err) // scenario validation bounds the QoS target and error
 			}
@@ -282,7 +284,7 @@ func Run(sc Scenario) *Result {
 
 			if sc.SnapshotPeriod > 0 {
 				eng := w.eng
-				s.Every(sc.SnapshotPeriod, func() {
+				s.Every(sc.SnapshotPeriod.Raw(), func() {
 					eng.Timeline.RecordSnapshot(metrics.Snapshot{
 						At:   float64(s.Now()),
 						Mode: eng.Mode(),
@@ -292,7 +294,7 @@ func Run(sc Scenario) *Result {
 		}
 	}
 
-	s.Run(sim.Time(sc.Duration))
+	s.Run(sim.Time(sc.Duration.Raw()))
 
 	for _, svc := range sc.Services {
 		prof := svc.Profile
@@ -340,7 +342,7 @@ func invoker(p interface{ Invoke(string) }, name string) func(sim.Time) {
 // switch points non-identical, Fig. 12), yet far from saturating any
 // resource (a saturated pool death-spirals: pressure inflates busy time,
 // which inflates pressure).
-func BackgroundTenants(dayLength float64, seed uint64) []ServiceSpec {
+func BackgroundTenants(dayLength units.Seconds, seed uint64) []ServiceSpec {
 	specs := []struct {
 		prof    workload.Profile
 		peakQPS float64
@@ -356,7 +358,7 @@ func BackgroundTenants(dayLength float64, seed uint64) []ServiceSpec {
 		prof.QoSTarget *= 4 // background tenants have loose targets
 		bgs = append(bgs, ServiceSpec{
 			Profile: prof,
-			Trace:   trace.NewDiurnal(s.peakQPS, s.peakQPS*0.25, dayLength, seed+uint64(i)),
+			Trace:   trace.NewDiurnal(s.peakQPS, s.peakQPS*0.25, dayLength.Raw(), seed+uint64(i)),
 		})
 	}
 	return bgs

@@ -49,7 +49,7 @@ func TestNamekoMeetsQoS(t *testing.T) {
 				prof.Name, sr.Collector.P95(), prof.QoSTarget)
 		}
 		// Pure IaaS allocates for the whole run.
-		wantCPU := sr.IaaSUsage.CPU / res.Duration
+		wantCPU := sr.IaaSUsage.CPU / res.Duration.Raw()
 		if wantCPU <= 0 {
 			t.Errorf("%s: no IaaS allocation recorded", prof.Name)
 		}

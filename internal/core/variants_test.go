@@ -112,7 +112,7 @@ func TestMultiServiceScenario(t *testing.T) {
 			{Profile: workload.DD(), Trace: trace.NewDiurnal(workload.DD().PeakQPS, workload.DD().PeakQPS*0.2, day, 2)},
 		},
 		Background: background(25),
-		Duration:   day,
+		Duration:   testDay,
 		Seed:       25,
 	}
 	res := Run(sc)

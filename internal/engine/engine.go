@@ -24,18 +24,21 @@ import (
 	"amoeba/internal/resources"
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
 // Config tunes the engine.
 type Config struct {
-	// SamplePeriod is the heartbeat/decision cadence, seconds (bounded
-	// below by Eq. 8; core computes it).
-	SamplePeriod float64
+	// SamplePeriod is the heartbeat/decision cadence (bounded below by
+	// Eq. 8; core computes it).
+	SamplePeriod units.Seconds
 	// ShadowFraction of IaaS-mode queries is mirrored to serverless.
-	ShadowFraction float64
+	//
+	//amoeba:range [0,0.5]
+	ShadowFraction units.Fraction
 	// ShadowMaxQPS caps the mirrored load.
-	ShadowMaxQPS float64
+	ShadowMaxQPS units.QPS
 	// Prewarm enables the container prewarm module; disabling it
 	// reproduces Amoeba-NoP (§VII-D).
 	Prewarm bool
@@ -43,10 +46,10 @@ type Config struct {
 	// invocations" (§V-A).
 	PrewarmHeadroom int
 	// DrainPoll is the polling period while draining a backend.
-	DrainPoll float64
+	DrainPoll units.Seconds
 	// MinDwell is the minimum time between consecutive switches —
 	// hysteresis against mode flapping when the load sits near λ(μ_n).
-	MinDwell float64
+	MinDwell units.Seconds
 	// WarmupPeriods is how many sample periods must pass before the first
 	// switch decision: the monitor's meter EWMA and the load estimate
 	// need a few samples to converge, and an early decision on a stale
@@ -127,7 +130,7 @@ type Engine struct {
 
 	arrivals       int     // since last tick
 	ticks          int     // sample periods elapsed
-	shadowSent     float64 // shadow tokens spent this period
+	shadowSent     float64 // shadow tokens spent this period (count)
 	execSum        float64 // warm serverless body time since last tick
 	execN          int
 	execLoadSum    float64 // load estimate attached to exec samples
@@ -189,7 +192,7 @@ func (e *Engine) observeServerlessBody(r metrics.QueryRecord) {
 
 // Start begins the periodic sample/decide loop.
 func (e *Engine) Start() {
-	e.sim.Every(e.cfg.SamplePeriod, e.tick)
+	e.sim.Every(e.cfg.SamplePeriod.Raw(), e.tick)
 }
 
 // HandleQuery routes one arriving query.
@@ -208,11 +211,11 @@ func (e *Engine) maybeShadow() {
 	if e.cfg.ShadowFraction <= 0 {
 		return
 	}
-	budget := e.cfg.ShadowMaxQPS * e.cfg.SamplePeriod
+	budget := e.cfg.ShadowMaxQPS.InWindow(e.cfg.SamplePeriod)
 	if e.shadowSent >= budget {
 		return
 	}
-	if e.rng.Float64() < e.cfg.ShadowFraction {
+	if e.rng.Float64() < e.cfg.ShadowFraction.Raw() {
 		e.shadowSent++
 		e.pool.Invoke(e.prof.Name + ShadowSuffix)
 	}
@@ -233,8 +236,8 @@ func (e *Engine) BlockedSwitches() int { return e.switchBlocked }
 // tick is one sample period: heartbeat to the monitor, load to the
 // controller, then a decision.
 func (e *Engine) tick() {
-	now := float64(e.sim.Now())
-	qps := float64(e.arrivals) / e.cfg.SamplePeriod
+	now := units.Seconds(e.sim.Now())
+	qps := units.QPS(float64(e.arrivals) / e.cfg.SamplePeriod.Raw())
 	e.arrivals = 0
 	e.shadowSent = 0
 	e.ctrl.ObserveLoad(qps)
@@ -250,14 +253,14 @@ func (e *Engine) tick() {
 		// same load-dependent baseline, so the regression learns the
 		// *ambient* contention effect, not the service's own-load one.
 		base := e.ctrl.Predictor().BaselineBody(e.ctrl.Load())
-		observed := (e.execSum / float64(e.execN)) / base
+		observed := (e.execSum / float64(e.execN)) / base.Raw()
 		feat := e.ctrl.Predictor().Features(ambient, e.ctrl.Load())
 		e.mon.Heartbeat(e.prof.Name, feat, observed)
 		e.execSum, e.execN = 0, 0
 	}
 
 	e.Timeline.RecordSnapshot(metrics.Snapshot{
-		At: now, Mode: e.mode, LoadQPS: e.ctrl.Load(), Alloc: e.currentAlloc(),
+		At: now.Raw(), Mode: e.mode, LoadQPS: e.ctrl.Load().Raw(), Alloc: e.currentAlloc(),
 	})
 
 	e.ticks++
@@ -275,7 +278,7 @@ func (e *Engine) tick() {
 	if d.Blocked {
 		e.switchBlocked++
 	}
-	if d.Target != e.mode && (now-e.lastSwitch >= e.cfg.MinDwell || e.lastSwitch == 0) {
+	if d.Target != e.mode && (now-units.Seconds(e.lastSwitch) >= e.cfg.MinDwell || e.lastSwitch == 0) {
 		e.startSwitch(d.Target, d.LoadQPS)
 	}
 }
@@ -304,7 +307,7 @@ func (e *Engine) ambientPressure() [3]float64 {
 // ownPressure estimates the pressure this service's serverless demand adds
 // at the current load (Little's law: concurrency = load × busy time).
 func (e *Engine) ownPressure() [3]float64 {
-	conc := e.ctrl.Load() * (e.prof.ExecTime + e.prof.Overheads.Total())
+	conc := e.ctrl.Load().InWindow(units.Seconds(e.prof.ExecTime + e.prof.Overheads.Total()))
 	d := e.prof.Demand.Scale(conc)
 	return [3]float64{
 		d.CPU / e.cfg.Capacity.CPU,
@@ -323,7 +326,7 @@ func (e *Engine) currentAlloc() resources.Vector {
 }
 
 // startSwitch runs the §V-B protocol towards the target backend.
-func (e *Engine) startSwitch(target metrics.Backend, load float64) {
+func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 	e.switching = true
 	e.lastSwitch = float64(e.sim.Now())
 	switch target {
@@ -333,13 +336,13 @@ func (e *Engine) startSwitch(target metrics.Backend, load float64) {
 			e.mode = metrics.BackendServerless
 			e.ctrl.SetMode(target)
 			e.switching = false
-			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load)
+			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load.Raw())
 			// The IaaS side drains its in-flight queries, then releases
 			// the VMs (S_sd).
 			e.vms.Stop(e.prof.Name, nil)
 		}
 		if e.cfg.Prewarm {
-			n := queueing.PrewarmCount(load, e.prof.QoSTarget) + e.cfg.PrewarmHeadroom
+			n := queueing.PrewarmCount(load, units.Seconds(e.prof.QoSTarget)) + e.cfg.PrewarmHeadroom
 			e.pool.Prewarm(e.prof.Name, n, flip)
 		} else {
 			flip() // Amoeba-NoP: route immediately, cold starts and all
@@ -351,7 +354,7 @@ func (e *Engine) startSwitch(target metrics.Backend, load float64) {
 			e.mode = metrics.BackendIaaS
 			e.ctrl.SetMode(target)
 			e.switching = false
-			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load)
+			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load.Raw())
 			e.drainServerless()
 		})
 	}
@@ -369,7 +372,7 @@ func (e *Engine) drainServerless() {
 			e.pool.ReleaseIdle(e.prof.Name)
 			return
 		}
-		e.sim.After(e.cfg.DrainPoll, poll)
+		e.sim.After(e.cfg.DrainPoll.Raw(), poll)
 	}
 	poll()
 }

@@ -10,6 +10,7 @@ import (
 
 	"amoeba/internal/core"
 	"amoeba/internal/trace"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -18,12 +19,12 @@ type Config struct {
 	// DayLength is the virtual length of one diurnal day, seconds. The
 	// paper runs wall-clock days; the simulation compresses a day so the
 	// controller still sees dozens of decision periods per load level.
-	DayLength float64
+	DayLength units.Seconds
 	// Days is the horizon in days.
 	Days float64
 	// TroughFraction is the night trough as a fraction of peak
 	// (paper: low load < 30% of peak).
-	TroughFraction float64
+	TroughFraction units.Fraction
 	// Seed fixes all randomness.
 	Seed uint64
 	// Quick shrinks durations for tests; results get noisier.
@@ -51,8 +52,8 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func (c Config) horizon() float64 {
-	h := c.DayLength * c.Days
+func (c Config) horizon() units.Seconds {
+	h := units.Scale(c.DayLength, c.Days)
 	if c.Quick {
 		h = c.DayLength // quick mode: exactly one day
 	}
@@ -61,7 +62,7 @@ func (c Config) horizon() float64 {
 
 // diurnalFor builds the benchmark's day-shaped trace.
 func (c Config) diurnalFor(prof workload.Profile) trace.Trace {
-	return trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*c.TroughFraction, c.DayLength, c.Seed^hash(prof.Name))
+	return trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*c.TroughFraction.Raw(), c.DayLength.Raw(), c.Seed^hash(prof.Name))
 }
 
 // scenario builds the standard single-benchmark scenario of §VII-A: the

@@ -12,6 +12,7 @@ import (
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
 	"amoeba/internal/trace"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -65,7 +66,7 @@ func fig15One(s *Suite, prof workload.Profile) Fig15Row {
 	slCfg := serverless.DefaultConfig()
 	set := core.SurfaceSet(prof, slCfg)
 	nMax := nMaxFor(slCfg)
-	pred, err := controller.NewPredictor(prof, set, nMax, 0.95)
+	pred, err := controller.NewPredictor(prof, set, nMax, units.Fraction(0.95))
 	if err != nil {
 		//amoeba:allow panic suite config was validated by NewSuite
 		panic(err)
@@ -85,8 +86,8 @@ func fig15One(s *Suite, prof workload.Profile) Fig15Row {
 		pt := Fig15Point{
 			Pressure:  p,
 			RealQPS:   real,
-			AmoebaQPS: pred.AdmissibleLoad(calibrated, p),
-			NoMQPS:    pred.AdmissibleLoad(w0, p),
+			AmoebaQPS: pred.AdmissibleLoad(calibrated, p).Raw(),
+			NoMQPS:    pred.AdmissibleLoad(w0, p).Raw(),
 		}
 		row.Points = append(row.Points, pt)
 		errA += math.Abs(pt.AmoebaQPS-real) / real
@@ -102,7 +103,7 @@ func fig15One(s *Suite, prof workload.Profile) Fig15Row {
 
 // nMaxFor mirrors the pool's per-tenant cap for the default config.
 func nMaxFor(cfg serverless.Config) int {
-	return int(math.Min(1/cfg.Delta, cfg.Node.MemMB*(1-cfg.MemReserve)/cfg.ContainerMemMB))
+	return int(math.Min(1/cfg.Delta.Raw(), cfg.Node.MemMB*(1-cfg.MemReserve.Raw())/cfg.ContainerMemMB.Raw()))
 }
 
 // fig15RealSwitchPoint enumerates λ_real: the largest constant QPS whose

@@ -37,7 +37,7 @@ func Overhead(s *Suite) *OverheadResult {
 		})
 	}
 	run := s.Run(workload.Float(), core.VariantAmoeba)
-	res.MeasuredTotalFrac = run.MeterCPUSeconds / (run.Duration * cores)
+	res.MeasuredTotalFrac = run.MeterCPUSeconds / (run.Duration.Raw() * cores)
 	return res
 }
 

@@ -19,6 +19,7 @@ import (
 	"amoeba/internal/queueing"
 	"amoeba/internal/resources"
 	"amoeba/internal/sim"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -34,7 +35,7 @@ type Config struct {
 	RPCOverhead float64
 
 	// QoSQuantile is the latency quantile provisioning targets (0.95).
-	QoSQuantile float64
+	QoSQuantile units.Fraction
 
 	// Headroom multiplies the provisioned core count for safety margin.
 	Headroom float64
@@ -106,9 +107,11 @@ func New(s *sim.Simulator, cfg Config) *Platform {
 // ProvisionSlots returns the "just-enough" worker count for a profile: the
 // minimum slots keeping the QoS-quantile response of an M/M/k at peak
 // load within target, then headroom.
-func ProvisionSlots(profile workload.Profile, quantile, headroom float64) int {
-	mu := 1 / (profile.ExecTime + profile.Overheads.Processing) // worker service rate
-	slots, err := queueing.MinContainers(profile.PeakQPS, mu, profile.QoSTarget, quantile, 100000)
+func ProvisionSlots(profile workload.Profile, quantile units.Fraction, headroom float64) int {
+	// Worker service rate: one query's body plus the processing overhead.
+	mu := units.ServiceRate(1 / (profile.ExecTime + profile.Overheads.Processing))
+	slots, err := queueing.MinContainers(units.QPS(profile.PeakQPS), mu,
+		units.Seconds(profile.QoSTarget), quantile, 100000)
 	if err != nil {
 		//amoeba:allow panic the search cap is a positive literal above
 		panic(err)

@@ -16,6 +16,7 @@ import (
 
 	"amoeba/internal/contention"
 	"amoeba/internal/resources"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -127,35 +128,36 @@ func (c *Curve) Validate() error {
 
 // LatencyAt interpolates the meter latency at the given pressure,
 // clamping outside the profiled range.
-func (c *Curve) LatencyAt(p float64) float64 {
+func (c *Curve) LatencyAt(p float64) units.Seconds {
 	n := len(c.Pressures)
 	if p <= c.Pressures[0] {
-		return c.Latencies[0]
+		return units.Seconds(c.Latencies[0])
 	}
 	if p >= c.Pressures[n-1] {
-		return c.Latencies[n-1]
+		return units.Seconds(c.Latencies[n-1])
 	}
 	i := sort.SearchFloat64s(c.Pressures, p)
 	// Pressures[i-1] < p <= Pressures[i]
 	x0, x1 := c.Pressures[i-1], c.Pressures[i]
 	y0, y1 := c.Latencies[i-1], c.Latencies[i]
 	f := (p - x0) / (x1 - x0)
-	return y0 + f*(y1-y0)
+	return units.Seconds(y0 + f*(y1-y0))
 }
 
 // PressureFor inverts the curve: the pressure whose profiled latency
 // matches the observed one, clamped to the profiled range. This is the
 // monitor's Measurement step (§IV-B step 2).
-func (c *Curve) PressureFor(latency float64) float64 {
+func (c *Curve) PressureFor(latency units.Seconds) float64 {
+	lat := latency.Raw()
 	n := len(c.Latencies)
-	if latency <= c.Latencies[0] {
+	if lat <= c.Latencies[0] {
 		return c.Pressures[0]
 	}
-	if latency >= c.Latencies[n-1] {
+	if lat >= c.Latencies[n-1] {
 		return c.Pressures[n-1]
 	}
 	// Latencies are non-decreasing: binary search the segment.
-	i := sort.SearchFloat64s(c.Latencies, latency)
+	i := sort.SearchFloat64s(c.Latencies, lat)
 	if i == 0 {
 		return c.Pressures[0]
 	}
@@ -164,6 +166,6 @@ func (c *Curve) PressureFor(latency float64) float64 {
 	if y1 == y0 {
 		return x0
 	}
-	f := (latency - y0) / (y1 - y0)
+	f := (lat - y0) / (y1 - y0)
 	return x0 + f*(x1-x0)
 }

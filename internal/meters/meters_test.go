@@ -73,12 +73,12 @@ func TestCurveLatencyAt(t *testing.T) {
 	c := testCurve()
 	// Exact grid points.
 	for i, p := range c.Pressures {
-		if got := c.LatencyAt(p); math.Abs(got-c.Latencies[i]) > 1e-12 {
+		if got := c.LatencyAt(p); math.Abs(got.Raw()-c.Latencies[i]) > 1e-12 {
 			t.Errorf("LatencyAt(%v) = %v, want %v", p, got, c.Latencies[i])
 		}
 	}
 	// Midpoint interpolation.
-	if got := c.LatencyAt(0.125); math.Abs(got-0.0625) > 1e-12 {
+	if got := c.LatencyAt(0.125); math.Abs(got.Raw()-0.0625) > 1e-12 {
 		t.Errorf("LatencyAt(0.125) = %v, want 0.0625", got)
 	}
 	// Clamping.

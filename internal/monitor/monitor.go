@@ -24,6 +24,7 @@ import (
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
 	"amoeba/internal/stats"
+	"amoeba/internal/units"
 )
 
 // Weights is a calibrated Eq. 6 weight vector for one service.
@@ -72,10 +73,10 @@ func (w Weights) Predict(e [3]float64) float64 {
 // Config tunes the monitor.
 type Config struct {
 	// MeterQPS is the probing rate per meter (paper: 1 QPS).
-	MeterQPS float64
+	MeterQPS units.QPS
 	// SamplePeriod is the heartbeat/calibration period T (Eq. 8 decides
 	// its floor; core computes it per deployment).
-	SamplePeriod float64
+	SamplePeriod units.Seconds
 	// Window is the number of heartbeat samples kept per service.
 	Window int
 	// MinSamples is how many samples are needed before PCA calibration
@@ -84,7 +85,7 @@ type Config struct {
 	// UsePCA enables weight calibration; false reproduces Amoeba-NoM.
 	UsePCA bool
 	// MeterEWMAAlpha smooths meter latencies between periods.
-	MeterEWMAAlpha float64
+	MeterEWMAAlpha units.Fraction
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -157,7 +158,7 @@ func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, c
 		services: make(map[string]*sampleWindow),
 	}
 	for i := range m.meterLat {
-		m.meterLat[i] = stats.NewEWMA(cfg.MeterEWMAAlpha)
+		m.meterLat[i] = stats.NewEWMA(cfg.MeterEWMAAlpha.Raw())
 	}
 	for _, mt := range meters.All() {
 		mt := mt
@@ -179,16 +180,16 @@ func (m *Monitor) Start() {
 		panic("monitor: Start called twice")
 	}
 	m.started = true
-	period := 1 / m.cfg.MeterQPS
+	period := m.cfg.MeterQPS.Period()
 	for _, mt := range meters.All() {
 		name := mt.Profile.Name
 		// Keep one container warm per meter so probes measure contention,
 		// not cold starts.
 		m.pool.Prewarm(name, 1, nil)
-		stop := m.sim.Every(period, func() { m.pool.Invoke(name) })
+		stop := m.sim.Every(period.Raw(), func() { m.pool.Invoke(name) })
 		m.stop = append(m.stop, stop)
 	}
-	stop := m.sim.Every(m.cfg.SamplePeriod, m.refresh)
+	stop := m.sim.Every(m.cfg.SamplePeriod.Raw(), m.refresh)
 	m.stop = append(m.stop, stop)
 }
 
@@ -204,7 +205,7 @@ func (m *Monitor) Stop() {
 func (m *Monitor) refresh() {
 	for i := range m.pressure {
 		if m.meterLat[i].Initialized() {
-			m.pressure[i] = m.curves[i].PressureFor(m.meterLat[i].Value())
+			m.pressure[i] = m.curves[i].PressureFor(units.Seconds(m.meterLat[i].Value()))
 		}
 	}
 }
@@ -215,7 +216,9 @@ func (m *Monitor) Pressure() [3]float64 { return m.pressure }
 
 // MeterLatency returns the smoothed latency of meter idx (0 before any
 // probe completed).
-func (m *Monitor) MeterLatency(idx int) float64 { return m.meterLat[idx].Value() }
+func (m *Monitor) MeterLatency(idx int) units.Seconds {
+	return units.Seconds(m.meterLat[idx].Value())
+}
 
 // MeterCPUSeconds returns the cumulative CPU consumed by the meter probes
 // (§VII-E's overhead metric).

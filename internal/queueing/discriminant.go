@@ -3,7 +3,29 @@ package queueing
 import (
 	"fmt"
 	"math"
+
+	"amoeba/internal/units"
 )
+
+// The functions in this file are the typed boundary of the queueing
+// package: Eq. 5, 7 and 8 take and return units-typed quantities, and
+// strip them explicitly (units.*.Raw) only when entering the raw M/M/N
+// core below.
+//
+// Dimensional audit against the paper (pinned by TestEquationGolden*):
+//
+//	Eq. 5  λ(μ) = Nμ + ln[(1−r)(1−ρ)/π_N]/(T_D − 1/μ)
+//	       [N·μ] = QPS; the log term is dimensionless over a Seconds
+//	       budget, so the quotient is again a rate. Consistent.
+//	Eq. 7  n = ⌈V_u · QoS_t⌉
+//	       QPS × Seconds = a dimensionless in-flight count (Little's
+//	       law over the QoS window). Consistent; see QPS.InWindow.
+//	Eq. 8  T > (cold_start − QoS_t + t_exec) / ((1−e) · QoS_t)
+//	       the quotient is a dimensionless count of QoS-target periods;
+//	       it reads as seconds only because the heartbeat/probe reference
+//	       rate is 1 QPS (§VI: meters probe at 1 QPS), whose implicit
+//	       1-second period converts count to time. SamplePeriod keeps the
+//	       paper's literal formula and documents the hidden ×1 s.
 
 // DiscriminantClosedForm evaluates the paper's Eq. 5 literally:
 //
@@ -16,11 +38,12 @@ import (
 // service time alone already exceeds the target. It panics if q is not a
 // well-formed M/M/N system; callers pass operating points they computed
 // themselves, so that is a bug, not an input error.
-func DiscriminantClosedForm(q MMN, targetTD, r float64) float64 {
+func DiscriminantClosedForm(q MMN, targetTD units.Seconds, r units.Fraction) units.QPS {
 	if err := q.Validate(); err != nil {
 		panic(err)
 	}
-	budget := targetTD - 1/q.Mu
+	mu := units.ServiceRate(q.Mu)
+	budget := targetTD - mu.ServiceTime()
 	if budget <= 0 {
 		return 0
 	}
@@ -30,13 +53,13 @@ func DiscriminantClosedForm(q MMN, targetTD, r float64) float64 {
 	piN := q.PiK(q.N)
 	if piN == 0 {
 		// No queueing mass at all: the full capacity is admissible.
-		return float64(q.N) * q.Mu
+		return mu.Capacity(q.N)
 	}
-	arg := (1 - r) * (1 - q.Rho()) / piN
+	arg := (1 - r.Raw()) * (1 - q.Rho()) / piN
 	if arg <= 0 {
 		return 0
 	}
-	lam := float64(q.N)*q.Mu + math.Log(arg)/budget
+	lam := mu.Capacity(q.N) + units.QPS(math.Log(arg)/budget.Raw())
 	if lam < 0 {
 		return 0
 	}
@@ -50,19 +73,19 @@ func DiscriminantClosedForm(q MMN, targetTD, r float64) float64 {
 // for ρ's dependence on λ exactly. It panics if mu or n is non-positive —
 // both are produced by the controller's own prediction pipeline, never
 // taken from user input.
-func DiscriminantBisect(mu float64, n int, targetTD, r float64) float64 {
+func DiscriminantBisect(mu units.ServiceRate, n int, targetTD units.Seconds, r units.Fraction) units.QPS {
 	if mu <= 0 || n <= 0 {
 		panic(fmt.Sprintf("queueing: invalid mu=%v n=%d", mu, n))
 	}
-	if targetTD <= 1/mu {
+	if targetTD <= mu.ServiceTime() {
 		return 0 // bare service time already violates the target
 	}
-	ok := func(lambda float64) bool {
-		q := MMN{Lambda: lambda, Mu: mu, N: n}
-		return q.Stable() && q.QoSSatisfied(targetTD, r)
+	ok := func(lambda units.QPS) bool {
+		q := MMN{Lambda: lambda.Raw(), Mu: mu.Raw(), N: n}
+		return q.Stable() && q.QoSSatisfied(targetTD.Raw(), r.Raw())
 	}
-	lo, hi := 0.0, float64(n)*mu
-	if ok(hi * (1 - 1e-9)) {
+	lo, hi := units.QPS(0), mu.Capacity(n)
+	if ok(units.Scale(hi, 1-1e-9)) {
 		return hi
 	}
 	for i := 0; i < 60; i++ {
@@ -80,13 +103,15 @@ func DiscriminantBisect(mu float64, n int, targetTD, r float64) float64 {
 // the given λ and μ keeps the r-quantile within targetTD, capped at
 // maxN. It returns maxN+1 when even maxN is insufficient, and an error
 // when the search bound itself is malformed.
-func MinContainers(lambda, mu, targetTD, r float64, maxN int) (int, error) {
+func MinContainers(lambda units.QPS, mu units.ServiceRate, targetTD units.Seconds,
+	r units.Fraction, maxN int) (int, error) {
+
 	if maxN <= 0 {
 		return 0, fmt.Errorf("queueing: MinContainers with non-positive maxN %d", maxN)
 	}
 	for n := 1; n <= maxN; n++ {
-		q := MMN{Lambda: lambda, Mu: mu, N: n}
-		if q.Stable() && q.QoSSatisfied(targetTD, r) {
+		q := MMN{Lambda: lambda.Raw(), Mu: mu.Raw(), N: n}
+		if q.Stable() && q.QoSSatisfied(targetTD.Raw(), r.Raw()) {
 			return n, nil
 		}
 	}
@@ -95,18 +120,20 @@ func MinContainers(lambda, mu, targetTD, r float64, maxN int) (int, error) {
 
 // PrewarmCount implements Eq. 7: the number of prewarmed containers n such
 // that (n-1)/QoS_t < V_u <= n/QoS_t, i.e. n = ceil(V_u * QoS_t), with a
-// floor of 1 so a switch always warms at least one container. It panics
+// floor of 1 so a switch always warms at least one container. The
+// load·target product is the dimensionless count of requests in flight
+// over one QoS window (Little's law), not a time or a rate. It panics
 // if qosTarget is non-positive; the target comes from a validated
 // workload.Profile, so the engine's decision loop need not thread an
 // error through every tick.
-func PrewarmCount(loadQPS, qosTarget float64) int {
+func PrewarmCount(load units.QPS, qosTarget units.Seconds) int {
 	if qosTarget <= 0 {
 		panic("queueing: PrewarmCount with non-positive QoS target")
 	}
-	if loadQPS <= 0 {
+	if load <= 0 {
 		return 1
 	}
-	n := int(math.Ceil(loadQPS * qosTarget))
+	n := int(math.Ceil(load.InWindow(qosTarget)))
 	if n < 1 {
 		n = 1
 	}
@@ -119,15 +146,15 @@ func PrewarmCount(loadQPS, qosTarget float64) int {
 // (platform memory M₀ over per-container memory M₁). Both δ and the
 // memory sizes come straight from user configuration, so malformed
 // values are reported as an error.
-func MaxContainers(delta, platformMemMB, containerMemMB float64) (int, error) {
+func MaxContainers(delta units.Fraction, platformMem, containerMem units.MegaBytes) (int, error) {
 	if delta <= 0 || delta > 1 {
 		return 0, fmt.Errorf("queueing: delta %v out of (0,1]", delta)
 	}
-	if containerMemMB <= 0 {
-		return 0, fmt.Errorf("queueing: non-positive container memory %v", containerMemMB)
+	if containerMem <= 0 {
+		return 0, fmt.Errorf("queueing: non-positive container memory %v", containerMem)
 	}
-	shareBound := 1 / delta
-	memBound := platformMemMB / containerMemMB
+	shareBound := 1 / delta.Raw()
+	memBound := units.Ratio(platformMem, containerMem)
 	n := int(math.Min(shareBound, memBound))
 	if n < 1 {
 		n = 1
@@ -141,11 +168,18 @@ func MaxContainers(delta, platformMemMB, containerMemMB float64) (int, error) {
 //	T > (cold_start − QoS_t + t_exec) / ((1−e) · QoS_t)
 //
 // where e is the allowed error fraction. The returned value is the bound
-// itself (callers should sample no more often). When the numerator is
-// non-positive a cold start cannot cause a violation, and the floor
-// minPeriod is returned. The QoS target and allowed error are scenario
-// configuration, so malformed values are reported as an error.
-func SamplePeriod(coldStart, qosTarget, execTime, allowedError, minPeriod float64) (float64, error) {
+// itself (callers should sample no more often). Dimensionally the
+// quotient is a pure count of QoS-target periods; it converts to seconds
+// through the heartbeat stream's 1 QPS reference rate (one sample per
+// second, §VI), which the paper leaves implicit — the audit found no
+// numeric error, only that hidden ×1 s factor, so the literal formula is
+// kept. When the numerator is non-positive a cold start cannot cause a
+// violation, and the floor minPeriod is returned. The QoS target and
+// allowed error are scenario configuration, so malformed values are
+// reported as an error.
+func SamplePeriod(coldStart, qosTarget, execTime units.Seconds,
+	allowedError units.Fraction, minPeriod units.Seconds) (units.Seconds, error) {
+
 	if qosTarget <= 0 {
 		return 0, fmt.Errorf("queueing: SamplePeriod with non-positive QoS target %v", qosTarget)
 	}
@@ -156,9 +190,7 @@ func SamplePeriod(coldStart, qosTarget, execTime, allowedError, minPeriod float6
 	if num <= 0 {
 		return minPeriod, nil
 	}
-	t := num / ((1 - allowedError) * qosTarget)
-	if t < minPeriod {
-		return minPeriod, nil
-	}
-	return t, nil
+	periods := units.Ratio(num, units.Scale(qosTarget, 1-allowedError.Raw()))
+	t := units.Seconds(periods) // × the implicit 1 s heartbeat period
+	return units.Max(t, minPeriod), nil
 }

@@ -4,20 +4,22 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"amoeba/internal/units"
 )
 
 func TestDiscriminantBisectIsAdmissible(t *testing.T) {
 	const mu, n, td, r = 2.0, 20, 1.5, 0.95
 	lam := DiscriminantBisect(mu, n, td, r)
-	if lam <= 0 || lam >= float64(n)*mu {
+	if lam <= 0 || lam.Raw() >= float64(n)*mu {
 		t.Fatalf("lambda* = %v out of (0, %v)", lam, float64(n)*mu)
 	}
 	// Just below the threshold: QoS holds. Just above: it fails.
-	below := MMN{Lambda: lam * 0.999, Mu: mu, N: n}
+	below := MMN{Lambda: lam.Raw() * 0.999, Mu: mu, N: n}
 	if !below.QoSSatisfied(td, r) {
 		t.Errorf("QoS violated just below lambda* (q95=%v)", below.ResponseQuantile(r))
 	}
-	above := MMN{Lambda: lam * 1.01, Mu: mu, N: n}
+	above := MMN{Lambda: lam.Raw() * 1.01, Mu: mu, N: n}
 	if above.Stable() && above.QoSSatisfied(td, r) {
 		t.Errorf("QoS still satisfied above lambda* (q95=%v, target %v)",
 			above.ResponseQuantile(r), td)
@@ -28,7 +30,7 @@ func TestDiscriminantBisectGenerousTarget(t *testing.T) {
 	// With a huge latency budget nearly the whole capacity is admissible
 	// (the threshold approaches Nμ from below as the budget grows).
 	lam := DiscriminantBisect(1, 10, 1000, 0.95)
-	if math.Abs(lam-10) > 0.01 {
+	if math.Abs(lam.Raw()-10) > 0.01 {
 		t.Errorf("lambda* = %v, want ~10 (full capacity)", lam)
 	}
 }
@@ -45,19 +47,19 @@ func TestDiscriminantClosedFormAgreesRoughly(t *testing.T) {
 	// threshold it should agree with the bisection within ~20%.
 	const mu, n, td, r = 2.0, 20, 1.5, 0.95
 	lamStar := DiscriminantBisect(mu, n, td, r)
-	q := MMN{Lambda: lamStar, Mu: mu, N: n}
+	q := MMN{Lambda: lamStar.Raw(), Mu: mu, N: n}
 	cf := DiscriminantClosedForm(q, td, r)
 	if cf <= 0 {
 		t.Fatalf("closed form returned %v at the true threshold", cf)
 	}
-	if rel := math.Abs(cf-lamStar) / lamStar; rel > 0.2 {
+	if rel := math.Abs(units.Ratio(cf-lamStar, lamStar)); rel > 0.2 {
 		t.Errorf("closed form %v vs bisect %v (rel err %v)", cf, lamStar, rel)
 	}
 }
 
 func TestDiscriminantMonotoneInMu(t *testing.T) {
-	prev := 0.0
-	for _, mu := range []float64{0.8, 1, 1.5, 2, 3} {
+	prev := units.QPS(0)
+	for _, mu := range []units.ServiceRate{0.8, 1, 1.5, 2, 3} {
 		lam := DiscriminantBisect(mu, 10, 2.0, 0.95)
 		if lam < prev {
 			t.Fatalf("lambda* not monotone in mu: mu=%v gives %v < %v", mu, lam, prev)
@@ -71,14 +73,14 @@ func TestDiscriminantBisectProperty(t *testing.T) {
 		mu := 0.5 + float64(muRaw%40)/10
 		n := int(nRaw%30) + 1
 		td := 0.1 + float64(tdRaw%50)/10
-		lam := DiscriminantBisect(mu, n, td, 0.95)
-		if lam < 0 || lam > float64(n)*mu+1e-9 {
+		lam := DiscriminantBisect(units.ServiceRate(mu), n, units.Seconds(td), 0.95)
+		if lam < 0 || lam.Raw() > float64(n)*mu+1e-9 {
 			return false
 		}
 		if lam == 0 {
 			return true
 		}
-		q := MMN{Lambda: lam * 0.99, Mu: mu, N: n}
+		q := MMN{Lambda: lam.Raw() * 0.99, Mu: mu, N: n}
 		return q.QoSSatisfied(td, 0.95)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -116,8 +118,9 @@ func TestMinContainersInsufficientCap(t *testing.T) {
 
 func TestPrewarmCountEq7(t *testing.T) {
 	cases := []struct {
-		load, qos float64
-		want      int
+		load units.QPS
+		qos  units.Seconds
+		want int
 	}{
 		{10, 0.5, 5},   // ceil(10*0.5)
 		{10.1, 0.5, 6}, // strictly-greater boundary
@@ -136,7 +139,7 @@ func TestPrewarmCountSatisfiesEq7Inequality(t *testing.T) {
 	f := func(loadRaw, qosRaw uint8) bool {
 		load := float64(loadRaw) / 4
 		qos := 0.05 + float64(qosRaw)/100
-		n := PrewarmCount(load, qos)
+		n := PrewarmCount(units.QPS(load), units.Seconds(qos))
 		if load <= 0 {
 			return n == 1
 		}
@@ -168,7 +171,7 @@ func TestSamplePeriodEq8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(got-4) > 1e-9 {
+	if math.Abs(got.Raw()-4) > 1e-9 {
 		t.Errorf("SamplePeriod = %v, want 4", got)
 	}
 	// Cold start absorbed by the budget: floor returned.

@@ -1,0 +1,77 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"amoeba/internal/units"
+)
+
+// The golden tests below pin Eq. 5, 7 and 8 at paper-scale operating
+// points (§VII: benchmark service times of 80–150 ms, QoS targets a few
+// hundred ms, loads of tens of QPS), so any future change to the typed
+// formulas — a dropped .Raw(), a transposed argument, a unit rescale —
+// shifts a literal value and fails loudly. The values were produced by
+// the audited implementation and cross-checked dimensionally in
+// discriminant.go's package comment.
+
+func TestEquationGoldenEq5(t *testing.T) {
+	// An 80 ms service (μ = 12.5/s) on 8 containers, loaded at 70 QPS,
+	// with a 300 ms p95 target: the closed form admits ~92.3 QPS and the
+	// exact bisection ~88.3 QPS — both below the 100 QPS capacity and
+	// within the ~20% agreement the controller relies on.
+	op := MMN{Lambda: 70, Mu: 12.5, N: 8}
+	cf := DiscriminantClosedForm(op, 0.3, 0.95)
+	if math.Abs(cf.Raw()-92.3244111533) > 1e-6 {
+		t.Errorf("Eq. 5 closed form = %.10f, want 92.3244111533", cf.Raw())
+	}
+	bi := DiscriminantBisect(12.5, 8, 0.3, 0.95)
+	if math.Abs(bi.Raw()-88.298706802) > 1e-6 {
+		t.Errorf("Eq. 5 bisection = %.10f, want 88.2987068020", bi.Raw())
+	}
+}
+
+func TestEquationGoldenMinContainers(t *testing.T) {
+	// 100 QPS of a 150 ms service with a 450 ms p95 target: stability
+	// alone needs 16 containers (ρ < 1), the QoS tail pushes it to 17.
+	n, err := MinContainers(100, units.ServiceRate(1.0/0.15), 0.45, 0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 17 {
+		t.Errorf("MinContainers = %d, want 17", n)
+	}
+}
+
+func TestEquationGoldenEq7(t *testing.T) {
+	// Eq. 7 at paper scale: 100 QPS under a 180 ms QoS window keeps
+	// ⌈100 × 0.18⌉ = 18 requests in flight (Little's law), so 18
+	// containers are prewarmed ahead of a switch.
+	if got := PrewarmCount(100, 0.18); got != 18 {
+		t.Errorf("Eq. 7 PrewarmCount(100 QPS, 0.18 s) = %d, want 18", got)
+	}
+	// A QPS×Seconds product mistakenly computed as QPS/Seconds would give
+	// ceil(100/0.18) = 556 here; the pin above rules that out.
+	if got := PrewarmCount(42, 0.25); got != 11 {
+		t.Errorf("Eq. 7 PrewarmCount(42 QPS, 0.25 s) = %d, want 11 (= ceil 10.5)", got)
+	}
+}
+
+func TestEquationGoldenEq8(t *testing.T) {
+	// Eq. 8 at paper scale: a 1.2 s cold start against a 300 ms target
+	// and 150 ms execution with 10% allowed error gives
+	// (1.2 − 0.3 + 0.15) / (0.9 × 0.3) = 35/9 ≈ 3.889 s.
+	got, err := SamplePeriod(1.2, 0.3, 0.15, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Raw()-35.0/9.0) > 1e-12 {
+		t.Errorf("Eq. 8 SamplePeriod = %.12f, want %.12f (35/9)", got.Raw(), 35.0/9.0)
+	}
+	// Swapping coldStart and qosTarget (the two most confusable Seconds
+	// arguments) would make the numerator negative and return the floor —
+	// a silently different regime. Pin that the floor is NOT hit here.
+	if got <= 1 {
+		t.Errorf("Eq. 8 returned the floor %v; numerator should be positive", got)
+	}
+}

@@ -51,7 +51,7 @@ func TestConservationProperty(t *testing.T) {
 			t.Logf("seed=%d: containers %d > nMax %d", seed, p.Containers(prof.Name), nMax)
 			return false
 		}
-		if p.MemAllocatedMB() != float64(p.Containers(prof.Name))*cfg.ContainerMemMB {
+		if p.MemAllocatedMB() != float64(p.Containers(prof.Name))*cfg.ContainerMemMB.Raw() {
 			t.Logf("seed=%d: memory %v != containers %d × %v",
 				seed, p.MemAllocatedMB(), p.Containers(prof.Name), cfg.ContainerMemMB)
 			return false

@@ -27,6 +27,7 @@ import (
 	"amoeba/internal/queueing"
 	"amoeba/internal/resources"
 	"amoeba/internal/sim"
+	"amoeba/internal/units"
 	"amoeba/internal/workload"
 )
 
@@ -36,7 +37,7 @@ type Config struct {
 
 	// ColdStartMean and ColdStartCV parameterise the log-normal cold
 	// start delay. The paper (§V-A) quotes one to three seconds.
-	ColdStartMean float64
+	ColdStartMean units.Seconds
 	ColdStartCV   float64
 
 	// CodeLoadColdFactor multiplies a function's hot code-load time on
@@ -44,18 +45,18 @@ type Config struct {
 	CodeLoadColdFactor float64
 
 	// IdleTimeout is how long a warm container lingers before reclaim.
-	IdleTimeout float64
+	IdleTimeout units.Seconds
 
 	// Delta is the per-tenant share bound; n_max = min(1/Delta, M0/M1)
 	// (§IV-A).
-	Delta float64
+	Delta units.Fraction
 
 	// ContainerMemMB is the fixed container size (Table II: 256 MB).
-	ContainerMemMB float64
+	ContainerMemMB units.MegaBytes
 
 	// MemReserve is the fraction of node memory kept for the platform
 	// itself; containers may use the rest.
-	MemReserve float64
+	MemReserve units.Fraction
 
 	// MaxQueue bounds the shared activation queue (0 = unbounded). Public
 	// platforms impose such a cap — the §I "concurrent request
@@ -244,8 +245,8 @@ func (p *Platform) Register(profile workload.Profile, onComplete func(metrics.Qu
 	}
 }
 
-func (p *Platform) usableMemMB() float64 {
-	return p.cfg.Node.MemMB * (1 - p.cfg.MemReserve)
+func (p *Platform) usableMemMB() units.MegaBytes {
+	return units.Scale(units.MegaBytes(p.cfg.Node.MemMB), 1-p.cfg.MemReserve.Raw())
 }
 
 // mustFn looks up a registered function. It panics on an unknown name:
@@ -329,7 +330,7 @@ func (p *Platform) place(act *activation) bool {
 }
 
 func (p *Platform) memAvailable() bool {
-	return p.memMB+p.cfg.ContainerMemMB <= p.usableMemMB()
+	return units.MegaBytes(p.memMB)+p.cfg.ContainerMemMB <= p.usableMemMB()
 }
 
 // evictIdle destroys the longest-idle warm container belonging to any
@@ -359,8 +360,8 @@ func (p *Platform) newContainer(f *function, st containerState) *container {
 	p.nextID++
 	c := &container{id: p.nextID, fn: f, state: st}
 	f.containers++
-	p.memMB += p.cfg.ContainerMemMB
-	f.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: p.cfg.ContainerMemMB})
+	p.memMB += p.cfg.ContainerMemMB.Raw()
+	f.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: p.cfg.ContainerMemMB.Raw()})
 	return c
 }
 
@@ -380,15 +381,15 @@ func (p *Platform) destroy(c *container) {
 	c.reclaim.Cancel()
 	c.state = stateDead
 	c.fn.containers--
-	p.memMB -= p.cfg.ContainerMemMB
-	c.fn.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: -p.cfg.ContainerMemMB})
+	p.memMB -= p.cfg.ContainerMemMB.Raw()
+	c.fn.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: -p.cfg.ContainerMemMB.Raw()})
 }
 
 func (p *Platform) makeIdle(c *container) {
 	c.state = stateIdle
 	c.idleAt = p.sim.Now()
 	c.fn.idle = append(c.fn.idle, c)
-	c.reclaim = p.sim.After(p.cfg.IdleTimeout, func() {
+	c.reclaim = p.sim.After(p.cfg.IdleTimeout.Raw(), func() {
 		// The warm-pool floor survives idle reclaim.
 		if c.state == stateIdle && len(c.fn.idle) > c.fn.minWarm {
 			p.destroy(c)
@@ -434,7 +435,7 @@ func (p *Platform) startPrewarmOne(f *function, onWarm func()) bool {
 }
 
 func (p *Platform) sampleColdStart() float64 {
-	mu, sigma := lognormalParams(p.cfg.ColdStartMean, p.cfg.ColdStartCV)
+	mu, sigma := lognormalParams(p.cfg.ColdStartMean.Raw(), p.cfg.ColdStartCV)
 	p.coldStarts++
 	return p.rng.LogNormal(mu, sigma)
 }

@@ -10,6 +10,8 @@ package surfaces
 import (
 	"fmt"
 	"sort"
+
+	"amoeba/internal/units"
 )
 
 // Surface is one profiled latency surface.
@@ -75,18 +77,18 @@ func segment(grid []float64, x float64) (int, float64) {
 
 // At returns the bilinearly interpolated p95 latency at (pressure, load),
 // clamped to the profiled region.
-func (s *Surface) At(pressure, load float64) float64 {
+func (s *Surface) At(pressure float64, load units.QPS) units.Seconds {
 	pi, pf := segment(s.Pressures, pressure)
-	li, lf := segment(s.Loads, load)
+	li, lf := segment(s.Loads, load.Raw())
 	a := s.Lat[pi][li]*(1-lf) + s.Lat[pi][li+1]*lf
 	b := s.Lat[pi+1][li]*(1-lf) + s.Lat[pi+1][li+1]*lf
-	return a*(1-pf) + b*pf
+	return units.Seconds(a*(1-pf) + b*pf)
 }
 
 // BaselineAt returns the zero-pressure latency at the given load — the
 // L₀(V_u) reference the controller divides by to turn an absolute
 // latency into a degradation.
-func (s *Surface) BaselineAt(load float64) float64 {
+func (s *Surface) BaselineAt(load units.QPS) units.Seconds {
 	return s.At(s.Pressures[0], load)
 }
 
@@ -115,8 +117,8 @@ func (s *Set) Validate() error {
 
 // PredictLatencies returns L₁..L₃ at the given platform pressure and own
 // load (§IV-B Measurement step).
-func (s *Set) PredictLatencies(p [3]float64, load float64) [3]float64 {
-	var out [3]float64
+func (s *Set) PredictLatencies(p [3]float64, load units.QPS) [3]units.Seconds {
+	var out [3]units.Seconds
 	for i, sf := range s.Surfaces {
 		out[i] = sf.At(p[i], load)
 	}

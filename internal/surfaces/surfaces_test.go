@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"amoeba/internal/units"
 )
 
 func testSurface() *Surface {
@@ -46,7 +48,7 @@ func TestAtGridPoints(t *testing.T) {
 	s := testSurface()
 	for i, p := range s.Pressures {
 		for j, l := range s.Loads {
-			if got := s.At(p, l); math.Abs(got-s.Lat[i][j]) > 1e-12 {
+			if got := s.At(p, units.QPS(l)); math.Abs(got.Raw()-s.Lat[i][j]) > 1e-12 {
 				t.Errorf("At(%v, %v) = %v, want %v", p, l, got, s.Lat[i][j])
 			}
 		}
@@ -57,7 +59,7 @@ func TestAtBilinearMidpoint(t *testing.T) {
 	s := testSurface()
 	// Centre of the lower-left cell: mean of its four corners.
 	want := (0.10 + 0.12 + 0.15 + 0.18) / 4
-	if got := s.At(0.25, 5.5); math.Abs(got-want) > 1e-12 {
+	if got := s.At(0.25, 5.5); math.Abs(got.Raw()-want) > 1e-12 {
 		t.Errorf("At(0.25, 5.5) = %v, want %v", got, want)
 	}
 }
@@ -77,7 +79,7 @@ func TestAtWithinConvexHullProperty(t *testing.T) {
 	f := func(pRaw, lRaw uint8) bool {
 		p := float64(pRaw) / 255
 		l := 1 + float64(lRaw)/255*9
-		v := s.At(p, l)
+		v := s.At(p, units.QPS(l))
 		return v >= 0.10-1e-12 && v <= 0.40+1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -112,7 +114,7 @@ func TestSetValidateAndPredict(t *testing.T) {
 	}
 	l := set.PredictLatencies([3]float64{0, 0, 0}, 1)
 	for i, want := range []float64{0.10, 0.20, 0.30} {
-		if math.Abs(l[i]-want) > 1e-12 {
+		if math.Abs(l[i].Raw()-want) > 1e-12 {
 			t.Errorf("PredictLatencies[%d] = %v, want %v", i, l[i], want)
 		}
 	}
