@@ -36,6 +36,8 @@ import (
 	"amoeba/internal/core"
 	"amoeba/internal/experiments"
 	"amoeba/internal/metrics"
+	"amoeba/internal/obs"
+	"amoeba/internal/report"
 	"amoeba/internal/resources"
 	"amoeba/internal/trace"
 	"amoeba/internal/units"
@@ -210,6 +212,69 @@ func Run(sc Scenario) *Result { return core.Run(sc) }
 func BackgroundTenants(dayLength Seconds, seed uint64) []ServiceSpec {
 	return core.BackgroundTenants(dayLength, seed)
 }
+
+// Telemetry re-exports from internal/obs. Attach sinks to an EventBus,
+// set it on Scenario.Bus, and every decision, switch phase, cold start,
+// completed query, heartbeat, and meter refresh of the run becomes an
+// inspectable event. With a nil bus the instrumented code paths cost one
+// nil check — observation is strictly opt-in.
+type (
+	// EventBus fans telemetry events out to attached sinks.
+	EventBus = obs.Bus
+	// Event is one telemetry record; see the obs package for the taxonomy.
+	Event = obs.Event
+	// EventKind discriminates event types in the serialized stream.
+	EventKind = obs.Kind
+	// EventSink consumes emitted events.
+	EventSink = obs.Sink
+	// EventJSONLWriter streams events as one JSON object per line.
+	EventJSONLWriter = obs.JSONLWriter
+	// EventRing retains the most recent events in memory.
+	EventRing = obs.Ring
+	// MetricsRegistry holds counters, gauges, and bounded histograms with
+	// Prometheus-text and expvar exposition.
+	MetricsRegistry = obs.Registry
+	// DecisionEvent is one controller decision with the full Eq. 5
+	// discriminant inputs, the verdict, and its reason.
+	DecisionEvent = obs.DecisionEvent
+	// SwitchSpan is one deploy-mode transition with per-phase durations.
+	SwitchSpan = obs.SwitchSpan
+)
+
+// The event taxonomy (EventRing.Filter keys).
+const (
+	KindQueryComplete = obs.KindQueryComplete
+	KindColdStart     = obs.KindColdStart
+	KindDecision      = obs.KindDecision
+	KindSwitchSpan    = obs.KindSwitchSpan
+	KindHeartbeat     = obs.KindHeartbeat
+	KindMeterSample   = obs.KindMeterSample
+)
+
+// NewEventBus returns an empty telemetry bus.
+func NewEventBus() *EventBus { return obs.NewBus() }
+
+// NewEventJSONLWriter wraps w as a JSONL event sink.
+func NewEventJSONLWriter(w io.Writer) *EventJSONLWriter { return obs.NewJSONLWriter(w) }
+
+// NewEventRing returns a bounded in-memory sink keeping the last n
+// events. It panics if n is not positive.
+func NewEventRing(n int) *EventRing { return obs.NewRing(n) }
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsSink returns a sink folding the event stream into reg.
+func NewMetricsSink(reg *MetricsRegistry) EventSink { return obs.NewMetricsSink(reg) }
+
+// DecisionAuditTable renders the decision-audit trail of an event stream:
+// one row per DecisionEvent with load, μ̂, admissible load, pressure,
+// verdict, and reason.
+func DecisionAuditTable(events []Event) *report.Table { return obs.AuditTable(events) }
+
+// SwitchSpanTable renders one row per SwitchSpan with the per-phase
+// durations of the §V switch protocol.
+func SwitchSpanTable(events []Event) *report.Table { return obs.SwitchTable(events) }
 
 // ExperimentConfig scopes the paper-reproduction experiments.
 type ExperimentConfig = experiments.Config

@@ -10,6 +10,7 @@
 package amoeba_test
 
 import (
+	"math"
 	"testing"
 
 	"amoeba/internal/arrival"
@@ -19,9 +20,11 @@ import (
 	"amoeba/internal/experiments"
 	"amoeba/internal/metrics"
 	"amoeba/internal/monitor"
+	"amoeba/internal/obs"
 	"amoeba/internal/queueing"
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
+	"amoeba/internal/stats"
 	"amoeba/internal/trace"
 	"amoeba/internal/units"
 	"amoeba/internal/workload"
@@ -349,6 +352,93 @@ func BenchmarkAblationWarmPoolStrategy(b *testing.B) {
 	b.ReportMetric(float64(coldNo), "cold_starts_no_pool")
 	b.ReportMetric(float64(coldPool), "cold_starts_warm_pool")
 	b.ReportMetric(memPool/memNo, "warm_pool_mem_cost_x")
+}
+
+// --- Telemetry benches (DESIGN.md §9) ---
+
+// BenchmarkEventEmit measures the per-event cost of the obs bus: the
+// guarded no-sink path (which must stay allocation-free — the event
+// literal is never constructed), a ring sink, and the metrics-folding
+// sink. Results are recorded in BENCH_obs.json.
+func BenchmarkEventEmit(b *testing.B) {
+	mkEvent := func(bus *obs.Bus, i int) {
+		if bus.Active() {
+			bus.Emit(&obs.QueryComplete{
+				At:      units.Seconds(float64(i)),
+				Service: "dd",
+				Backend: "serverless",
+				Latency: 0.0123,
+			})
+		}
+	}
+	b.Run("no-sink", func(b *testing.B) {
+		var bus *obs.Bus
+		if avg := testing.AllocsPerRun(1000, func() { mkEvent(bus, 1) }); avg != 0 {
+			b.Fatalf("no-sink emit allocates %.1f objects per event; the guard must be free", avg)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mkEvent(bus, i)
+		}
+	})
+	b.Run("ring", func(b *testing.B) {
+		bus := obs.NewBus()
+		bus.Attach(obs.NewRing(1 << 12))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mkEvent(bus, i)
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		bus := obs.NewBus()
+		bus.Attach(obs.NewMetricsSink(obs.NewRegistry()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mkEvent(bus, i)
+		}
+	})
+}
+
+// BenchmarkHistogramVsSample compares the bounded log-linear histogram
+// against the exact sorted sample on the same log-uniform latency data:
+// ingest throughput, p95 agreement, and memory behaviour (the histogram
+// is O(buckets), the sample O(n)).
+func BenchmarkHistogramVsSample(b *testing.B) {
+	rng := sim.New(7).RNG()
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		// Log-uniform over [1ms, 10s] — the latency range the sink covers.
+		vals[i] = 1e-3 * math.Exp(rng.Float64()*math.Log(1e4))
+	}
+	var hp95, sp95 float64
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h := obs.NewHistogram(1e-3, 100, 32)
+			for _, v := range vals {
+				h.Observe(v)
+			}
+			hp95 = h.P95()
+		}
+		b.ReportMetric(float64(len(vals))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mobs/s")
+	})
+	b.Run("sample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := stats.NewSample(len(vals))
+			s.AddAll(vals)
+			sp95 = s.P95()
+		}
+		b.ReportMetric(float64(len(vals))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mobs/s")
+	})
+	rel := (hp95 - sp95) / sp95
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 2.0/32 {
+		b.Fatalf("histogram p95 %.5f vs exact %.5f: rel err %.4f beyond bound", hp95, sp95, rel)
+	}
+	b.ReportMetric(rel*100, "p95_rel_err_%")
 }
 
 func benchScenario(cfg experiments.Config, prof workload.Profile, v core.Variant) core.Scenario {

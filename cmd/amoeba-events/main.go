@@ -1,0 +1,139 @@
+// Command amoeba-events validates and summarises a telemetry JSONL
+// stream produced by amoeba-sim -events.
+//
+// Validation checks, in order, per line:
+//
+//  1. the line is a JSON object with a known "kind" discriminator,
+//  2. it strictly decodes into that kind's event struct (unknown fields
+//     are an error — they mean the stream and the schema diverged),
+//  3. the "at" timestamps are non-decreasing over the stream (the
+//     determinism contract emits in sim-clock order).
+//
+// Usage:
+//
+//	amoeba-events -validate events.jsonl
+//	amoeba-sim -events /dev/stdout ... | amoeba-events -validate
+//
+// Exit status is non-zero on the first violation. With -counts the
+// per-kind event totals are printed after a clean validation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"amoeba/internal/obs"
+	"amoeba/internal/units"
+)
+
+func main() {
+	var (
+		validate = flag.Bool("validate", false, "strictly validate the stream (required)")
+		counts   = flag.Bool("counts", false, "print per-kind event totals after validating")
+	)
+	flag.Parse()
+	if !*validate {
+		fmt.Fprintln(os.Stderr, "usage: amoeba-events -validate [-counts] [file.jsonl]")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	perKind, total, err := validateStream(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d events valid\n", name, total)
+	if *counts {
+		kinds := make([]string, 0, len(perKind))
+		for k := range perKind {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("  %-16s %d\n", k, perKind[obs.Kind(k)])
+		}
+	}
+}
+
+// validateStream checks every line of the stream; it returns per-kind
+// counts and the total on success, or the first violation.
+func validateStream(r io.Reader) (map[obs.Kind]int, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	perKind := map[obs.Kind]int{}
+	total := 0
+	last := units.Seconds(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind obs.Kind `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, 0, fmt.Errorf("line %d: not a JSON object: %v", lineNo, err)
+		}
+		ev, err := decodeStrict(probe.Kind, line)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if at := ev.EventTime(); at < last {
+			return nil, 0, fmt.Errorf("line %d: timestamp %v before previous %v — stream not in sim-clock order",
+				lineNo, at, last)
+		} else {
+			last = at
+		}
+		perKind[probe.Kind]++
+		total++
+	}
+	return perKind, total, sc.Err()
+}
+
+// decodeStrict decodes one line into the concrete struct of its kind,
+// rejecting unknown fields.
+func decodeStrict(k obs.Kind, line []byte) (obs.Event, error) {
+	var ev obs.Event
+	switch k {
+	case obs.KindQueryComplete:
+		ev = &obs.QueryComplete{}
+	case obs.KindColdStart:
+		ev = &obs.ColdStart{}
+	case obs.KindDecision:
+		ev = &obs.DecisionEvent{}
+	case obs.KindSwitchSpan:
+		ev = &obs.SwitchSpan{}
+	case obs.KindHeartbeat:
+		ev = &obs.HeartbeatSample{}
+	case obs.KindMeterSample:
+		ev = &obs.MeterSample{}
+	default:
+		return nil, fmt.Errorf("unknown event kind %q", k)
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(ev); err != nil {
+		return nil, fmt.Errorf("kind %q: %v", k, err)
+	}
+	return ev, nil
+}

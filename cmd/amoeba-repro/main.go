@@ -23,6 +23,7 @@ import (
 
 	"amoeba/internal/experiments"
 	"amoeba/internal/report"
+	"amoeba/internal/workload"
 )
 
 // renderable is anything an artifact produces: both report.Table and
@@ -109,6 +110,11 @@ func artifacts() []artifact {
 		{"elasticity", "Extension: Amoeba vs VM autoscaler (usage, QoS, cost)",
 			func(_ experiments.Config, s *experiments.Suite) []renderable {
 				return one(experiments.Elasticity(s).Render())
+			}},
+		{"audit", "Decision audit: telemetry-backed verdict and switch-span tables (dd)",
+			func(cfg experiments.Config, _ *experiments.Suite) []renderable {
+				r := experiments.DecisionAudit(cfg, workload.DD())
+				return []renderable{r.Decisions, r.Switches}
 			}},
 	}
 }

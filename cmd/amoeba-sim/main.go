@@ -5,9 +5,16 @@
 // Usage:
 //
 //	amoeba-sim -bench dd -variant amoeba -days 1 -day-length 3600 -seed 7
+//
+// Telemetry flags:
+//
+//	-events out.jsonl   write the full event stream as JSON lines
+//	-metrics-dump       print Prometheus-text metrics after the run
+//	-audit              print the decision-audit and switch-span tables
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +42,9 @@ func main() {
 		seed      = flag.Uint64("seed", 0xA0EBA, "simulation seed")
 		noBG      = flag.Bool("no-background", false, "disable the background co-tenants")
 		timeline  = flag.Bool("timeline", false, "print the deploy-mode switch timeline")
+		events    = flag.String("events", "", "write the telemetry event stream as JSON lines to this file")
+		dumpReg   = flag.Bool("metrics-dump", false, "print Prometheus-text metrics after the run")
+		audit     = flag.Bool("audit", false, "print the decision-audit and switch-span tables")
 	)
 	flag.Parse()
 
@@ -56,9 +66,47 @@ func main() {
 	opts.Seed = *seed
 	opts.Background = !*noBG
 
+	// Telemetry: build one bus carrying every requested sink.
+	var (
+		bus     *amoeba.EventBus
+		jsonl   *amoeba.EventJSONLWriter
+		ring    *amoeba.EventRing
+		reg     *amoeba.MetricsRegistry
+		flushFn func() error
+	)
+	if *events != "" || *dumpReg || *audit {
+		bus = amoeba.NewEventBus()
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		jsonl = amoeba.NewEventJSONLWriter(bw)
+		bus.Attach(jsonl)
+		flushFn = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if *dumpReg {
+		reg = amoeba.NewMetricsRegistry()
+		bus.Attach(amoeba.NewMetricsSink(reg))
+	}
+	if *audit {
+		ring = amoeba.NewEventRing(1 << 18)
+		bus.Attach(ring)
+	}
+
 	fmt.Printf("running %s under %s for %.1f day(s) of %.0fs...\n",
 		prof.Name, *variant, *days, *dayLength)
-	res := amoeba.Run(amoeba.NewScenario(v, prof, opts))
+	sc := amoeba.NewScenario(v, prof, opts)
+	sc.Bus = bus
+	res := amoeba.Run(sc)
 	sr := res.Services[prof.Name]
 
 	t := report.NewTable("result", "metric", "value")
@@ -84,5 +132,31 @@ func main() {
 			tl.AddRow(fmt.Sprintf("%.0f", sw.At), sw.To.String(), fmt.Sprintf("%.1f", sw.LoadQPS))
 		}
 		fmt.Print(tl.String())
+	}
+	if *audit {
+		evs := ring.Events()
+		fmt.Print(amoeba.DecisionAuditTable(evs).String())
+		fmt.Print(amoeba.SwitchSpanTable(evs).String())
+		if ring.Seen() > ring.Len() {
+			fmt.Printf("(audit ring kept the last %d of %d events)\n", ring.Len(), ring.Seen())
+		}
+	}
+	if *dumpReg {
+		fmt.Println("metrics:")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v\n", err)
+			os.Exit(1)
+		}
+		if err := flushFn(); err != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d events to %s\n", jsonl.Count(), *events)
 	}
 }

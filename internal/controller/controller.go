@@ -201,7 +201,23 @@ type Decision struct {
 	// Blocked is set when a switch-in was indicated by load but vetoed by
 	// the co-tenant safety check.
 	Blocked bool
+	// Verdict names the outcome ("switch-in", "switch-out", "stay-iaas",
+	// "stay-serverless", "blocked") and Reason spells out the comparison
+	// that produced it — the decision-audit trail's payload.
+	Verdict string
+	Reason  string
 }
+
+// Verdict values. The engine substitutes VerdictDwellHold when an
+// indicated switch is suppressed by the minimum-dwell hysteresis.
+const (
+	VerdictSwitchIn       = "switch-in"
+	VerdictSwitchOut      = "switch-out"
+	VerdictStayIaaS       = "stay-iaas"
+	VerdictStayServerless = "stay-serverless"
+	VerdictBlocked        = "blocked"
+	VerdictDwellHold      = "dwell-hold"
+)
 
 // Controller drives the decision loop for one service. It is fed load
 // observations and pressure/weight estimates by the runtime and emits
@@ -267,28 +283,49 @@ func (c *Controller) Decide(now units.Seconds, w monitor.Weights, pressure [3]fl
 	}
 	switch c.mode {
 	case metrics.BackendIaaS:
-		if c.loadEWMA <= units.Scale(adm, c.cfg.SwitchInMargin) {
-			safe := true
-			for _, p := range postSwitchPressure {
-				if p > c.cfg.MaxPostSwitchPressure {
-					safe = false
-					break
+		bound := units.Scale(adm, c.cfg.SwitchInMargin)
+		if c.loadEWMA <= bound {
+			unsafe, worst := -1, 0.0
+			for i, p := range postSwitchPressure {
+				if p > c.cfg.MaxPostSwitchPressure && p > worst {
+					unsafe, worst = i, p
 				}
 			}
-			if safe {
+			if unsafe < 0 {
 				d.Target = metrics.BackendServerless
+				d.Verdict = VerdictSwitchIn
+				d.Reason = fmt.Sprintf("load %.2f <= %.2f (%.0f%% of admissible %.2f), post-switch pressure within %.2f",
+					c.loadEWMA.Raw(), bound.Raw(), c.cfg.SwitchInMargin*100, adm.Raw(), c.cfg.MaxPostSwitchPressure)
 			} else {
 				d.Blocked = true
+				d.Verdict = VerdictBlocked
+				d.Reason = fmt.Sprintf("post-switch %s pressure %.2f exceeds safety bound %.2f",
+					resourceNames[unsafe], worst, c.cfg.MaxPostSwitchPressure)
 			}
+		} else {
+			d.Verdict = VerdictStayIaaS
+			d.Reason = fmt.Sprintf("load %.2f above switch-in bound %.2f (%.0f%% of admissible %.2f)",
+				c.loadEWMA.Raw(), bound.Raw(), c.cfg.SwitchInMargin*100, adm.Raw())
 		}
 	case metrics.BackendServerless:
-		if c.loadEWMA > units.Scale(adm, c.cfg.SwitchOutMargin) {
+		bound := units.Scale(adm, c.cfg.SwitchOutMargin)
+		if c.loadEWMA > bound {
 			d.Target = metrics.BackendIaaS
+			d.Verdict = VerdictSwitchOut
+			d.Reason = fmt.Sprintf("load %.2f above switch-out bound %.2f (%.0f%% of admissible %.2f)",
+				c.loadEWMA.Raw(), bound.Raw(), c.cfg.SwitchOutMargin*100, adm.Raw())
+		} else {
+			d.Verdict = VerdictStayServerless
+			d.Reason = fmt.Sprintf("load %.2f within switch-out bound %.2f (%.0f%% of admissible %.2f)",
+				c.loadEWMA.Raw(), bound.Raw(), c.cfg.SwitchOutMargin*100, adm.Raw())
 		}
 	}
 	c.decisions = append(c.decisions, d)
 	return d
 }
+
+// resourceNames label the pressure dimensions in decision reasons.
+var resourceNames = [3]string{"cpu", "io", "net"}
 
 // Decisions returns the decision history.
 func (c *Controller) Decisions() []Decision { return c.decisions }

@@ -21,6 +21,7 @@ import (
 	"amoeba/internal/iaas"
 	"amoeba/internal/metrics"
 	"amoeba/internal/monitor"
+	"amoeba/internal/obs"
 	"amoeba/internal/queueing"
 	"amoeba/internal/resources"
 	"amoeba/internal/serverless"
@@ -85,6 +86,11 @@ type Scenario struct {
 	// SnapshotPeriod densifies the timeline for Fig. 12/13 (0 = engine
 	// sample period only).
 	SnapshotPeriod units.Seconds
+	// Bus is the telemetry bus events are emitted on (nil = unobserved;
+	// every emission site stays on its zero-cost path). Attach sinks
+	// before Run — the bus is wired into the platforms, the monitor, and
+	// every engine.
+	Bus *obs.Bus
 }
 
 // Validate reports scenario errors.
@@ -184,6 +190,10 @@ func Run(sc Scenario) *Result {
 	slCfg := sc.serverlessConfig()
 	pool := serverless.New(s, slCfg)
 	vms := iaas.New(s, sc.iaasConfig())
+	if sc.Bus != nil {
+		pool.SetBus(sc.Bus)
+		vms.SetBus(sc.Bus)
+	}
 
 	res := &Result{
 		Variant:    sc.Variant,
@@ -209,6 +219,9 @@ func Run(sc Scenario) *Result {
 		monCfg := monitor.DefaultConfig()
 		monCfg.UsePCA = sc.Variant != VariantAmoebaNoM
 		mon = monitor.New(s, pool, MeterCurves(slCfg), monCfg)
+		if sc.Bus != nil {
+			mon.SetBus(sc.Bus)
+		}
 		mon.Start()
 	}
 
@@ -276,6 +289,9 @@ func Run(sc Scenario) *Result {
 			}
 			engCfg.Prewarm = sc.Variant != VariantAmoebaNoP
 			w.eng = engine.New(s, pool, vms, prof, ctrl, mon, engCfg)
+			if sc.Bus != nil {
+				w.eng.SetBus(sc.Bus)
+			}
 			w.coll = w.eng.Collector
 			w.eng.Start()
 

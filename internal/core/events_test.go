@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"amoeba/internal/controller"
+	"amoeba/internal/metrics"
+	"amoeba/internal/obs"
+	"amoeba/internal/trace"
+	"amoeba/internal/units"
+	"amoeba/internal/workload"
+)
+
+// eventDay is a compressed 900-second day: short enough to keep the
+// telemetry tests fast, long enough that amoeba switches modes (the
+// amoeba-sim smoke configuration).
+const eventDay = 900.0
+
+func eventScenario(seed uint64, bus *obs.Bus) Scenario {
+	prof := workload.DD()
+	return Scenario{
+		Variant:    VariantAmoeba,
+		Services:   []ServiceSpec{{Profile: prof, Trace: trace.NewDiurnal(prof.PeakQPS, prof.PeakQPS*0.2, eventDay, seed)}},
+		Background: BackgroundTenants(eventDay, seed+7),
+		Duration:   eventDay,
+		Seed:       seed,
+		Bus:        bus,
+	}
+}
+
+// TestEventStreamDeterministic is the determinism contract end to end:
+// two runs of the identical scenario and seed must serialize to
+// byte-identical JSONL streams.
+func TestEventStreamDeterministic(t *testing.T) {
+	skipIfRace(t)
+	run := func() []byte {
+		var buf bytes.Buffer
+		bus := obs.NewBus()
+		w := obs.NewJSONLWriter(&buf)
+		bus.Attach(w)
+		Run(eventScenario(0xA0EBA, bus))
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Count() == 0 {
+			t.Fatal("run emitted no events")
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		t.Fatalf("identical-seed runs diverge at byte %d (lengths %d vs %d)", i, len(a), len(b))
+	}
+}
+
+// TestEventStreamOrderedAndComplete checks the stream invariants the
+// amoeba-events validator enforces: timestamps are non-decreasing and
+// every expected kind appears for a scenario that switches modes.
+func TestEventStreamOrderedAndComplete(t *testing.T) {
+	skipIfRace(t)
+	bus := obs.NewBus()
+	ring := obs.NewRing(1 << 18)
+	bus.Attach(ring)
+	Run(eventScenario(0xA0EBA, bus))
+
+	last := units.Seconds(0)
+	kinds := map[obs.Kind]int{}
+	for _, ev := range ring.Events() {
+		if at := ev.EventTime(); at < last {
+			t.Fatalf("event at %v after one at %v", at, last)
+		} else {
+			last = at
+		}
+		kinds[ev.EventKind()]++
+	}
+	for _, k := range []obs.Kind{
+		obs.KindQueryComplete, obs.KindColdStart, obs.KindDecision,
+		obs.KindSwitchSpan, obs.KindHeartbeat, obs.KindMeterSample,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events in a switching run", k)
+		}
+	}
+}
+
+// TestSwitchTimelineFromEvents is the acceptance check that every mode
+// switch is explainable from the event log alone: the Fig. 12 switch
+// timeline reconstructed purely from SwitchSpan records must match the
+// engine's Timeline, and each switch must be preceded by a DecisionEvent
+// whose verdict ordered it.
+func TestSwitchTimelineFromEvents(t *testing.T) {
+	skipIfRace(t)
+	bus := obs.NewBus()
+	ring := obs.NewRing(1 << 18)
+	bus.Attach(ring)
+	prof := workload.DD()
+	res := Run(eventScenario(0xA0EBA, bus))
+	sr := res.Services[prof.Name]
+	if len(sr.Timeline.Switches) == 0 {
+		t.Fatal("scenario produced no switches; the reconstruction test needs some")
+	}
+
+	var spans []*obs.SwitchSpan
+	var decisions []*obs.DecisionEvent
+	for _, ev := range ring.Events() {
+		switch e := ev.(type) {
+		case *obs.SwitchSpan:
+			if e.Service == prof.Name {
+				spans = append(spans, e)
+			}
+		case *obs.DecisionEvent:
+			if e.Service == prof.Name {
+				decisions = append(decisions, e)
+			}
+		}
+	}
+
+	// Reconstruct the timeline: one entry per span, at the route-flip
+	// instant. Spans are emitted at release, so re-sort by FlipAt.
+	type flip struct {
+		at   float64
+		to   string
+		load float64
+	}
+	var rebuilt []flip
+	for _, sp := range spans {
+		rebuilt = append(rebuilt, flip{at: sp.FlipAt.Raw(), to: sp.To, load: sp.LoadQPS.Raw()})
+	}
+	for i := 1; i < len(rebuilt); i++ {
+		if rebuilt[i].at < rebuilt[i-1].at {
+			rebuilt[i], rebuilt[i-1] = rebuilt[i-1], rebuilt[i]
+		}
+	}
+
+	if len(rebuilt) != len(sr.Timeline.Switches) {
+		t.Fatalf("event log has %d switch spans, timeline has %d switches",
+			len(rebuilt), len(sr.Timeline.Switches))
+	}
+	for i, sw := range sr.Timeline.Switches {
+		got := rebuilt[i]
+		if got.at != sw.At || got.to != sw.To.String() || got.load != sw.LoadQPS {
+			t.Errorf("switch %d: events say (t=%.1f to=%s load=%.2f), timeline says (t=%.1f to=%s load=%.2f)",
+				i, got.at, got.to, got.load, sw.At, sw.To.String(), sw.LoadQPS)
+		}
+	}
+
+	// Every span must be ordered by a switch-verdict decision at its
+	// start instant (the audit-trail completeness property).
+	for _, sp := range spans {
+		found := false
+		for _, d := range decisions {
+			if d.At == sp.Start &&
+				(d.Verdict == controller.VerdictSwitchIn || d.Verdict == controller.VerdictSwitchOut) &&
+				d.Target == sp.To {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("switch span starting at %v to %s has no ordering DecisionEvent", sp.Start, sp.To)
+		}
+	}
+
+	// Span phase accounting: a non-aborted span's phases tile [Start, End].
+	for _, sp := range spans {
+		if sp.Aborted {
+			continue
+		}
+		sum := sp.Start + sp.PrewarmS + sp.AckS + sp.FlipS + sp.DrainS + sp.ReleaseS
+		if diff := (sum - sp.End).Raw(); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("span at %v: phases sum to %v, End is %v", sp.Start, sum, sp.End)
+		}
+		if sp.End < sp.FlipAt || sp.FlipAt < sp.Start {
+			t.Errorf("span at %v: Start/FlipAt/End out of order", sp.Start)
+		}
+	}
+}
+
+// TestMetricsSinkMatchesCollector cross-checks the registry sink against
+// the run's own collector: both count the same completed queries.
+func TestMetricsSinkMatchesCollector(t *testing.T) {
+	skipIfRace(t)
+	bus := obs.NewBus()
+	reg := obs.NewRegistry()
+	bus.Attach(obs.NewMetricsSink(reg))
+	prof := workload.DD()
+	res := Run(eventScenario(0xA0EBA, bus))
+	sr := res.Services[prof.Name]
+
+	got := reg.Counter(obs.Labeled("amoeba_queries_total",
+		"service", prof.Name, "backend", metrics.BackendIaaS.String())).Value() +
+		reg.Counter(obs.Labeled("amoeba_queries_total",
+			"service", prof.Name, "backend", metrics.BackendServerless.String())).Value()
+	if int(got) != sr.Collector.Count() {
+		t.Errorf("registry counted %d %s queries, collector %d", got, prof.Name, sr.Collector.Count())
+	}
+
+	h := reg.Histogram(obs.Labeled("amoeba_latency_seconds", "service", prof.Name), 1e-3, 100, 32)
+	if int(h.Count()) != sr.Collector.Count() {
+		t.Errorf("latency histogram has %d observations, collector %d", h.Count(), sr.Collector.Count())
+	}
+	// The bounded histogram's p95 must sit within its error bound of the
+	// collector's exact p95.
+	exact := sr.Collector.P95()
+	if exact > 0 {
+		rel := (h.P95() - exact) / exact
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 2.0/32 {
+			t.Errorf("histogram p95 %.4f vs exact %.4f: rel err %.3f", h.P95(), exact, rel)
+		}
+	}
+}

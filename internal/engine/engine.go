@@ -20,6 +20,7 @@ import (
 	"amoeba/internal/iaas"
 	"amoeba/internal/metrics"
 	"amoeba/internal/monitor"
+	"amoeba/internal/obs"
 	"amoeba/internal/queueing"
 	"amoeba/internal/resources"
 	"amoeba/internal/serverless"
@@ -116,6 +117,7 @@ type Engine struct {
 	ctrl *controller.Controller
 	mon  *monitor.Monitor
 	rng  *sim.RNG
+	bus  *obs.Bus
 
 	Collector *metrics.Collector
 	Timeline  *metrics.Timeline
@@ -167,6 +169,11 @@ func New(s *sim.Simulator, pool *serverless.Platform, vms *iaas.Platform,
 	}
 	return e
 }
+
+// SetBus attaches the telemetry bus; the engine emits one DecisionEvent
+// per decision period and one SwitchSpan per mode transition. A nil bus
+// (the default) keeps emission sites on their zero-cost path.
+func (e *Engine) SetBus(b *obs.Bus) { e.bus = b }
 
 // OnServerlessComplete must be passed as the pool completion callback for
 // the primary function registration.
@@ -274,11 +281,41 @@ func (e *Engine) tick() {
 	for i, own := range e.ownPressure() {
 		post[i] += own
 	}
-	d := e.ctrl.Decide(now, e.mon.WeightsFor(e.prof.Name), ambient, post)
+	w := e.mon.WeightsFor(e.prof.Name)
+	d := e.ctrl.Decide(now, w, ambient, post)
 	if d.Blocked {
 		e.switchBlocked++
 	}
-	if d.Target != e.mode && (now-units.Seconds(e.lastSwitch) >= e.cfg.MinDwell || e.lastSwitch == 0) {
+	dwellOK := now-units.Seconds(e.lastSwitch) >= e.cfg.MinDwell || e.lastSwitch == 0
+	if e.bus.Active() {
+		verdict, reason := d.Verdict, d.Reason
+		if d.Target != e.mode && !dwellOK {
+			// The controller wants a switch but the engine's hysteresis
+			// holds it — audit the suppression, not the wish.
+			verdict = controller.VerdictDwellHold
+			reason = fmt.Sprintf("%s held: %.0fs since last switch < min dwell %.0fs",
+				d.Verdict, (now - units.Seconds(e.lastSwitch)).Raw(), e.cfg.MinDwell.Raw())
+		}
+		e.bus.Emit(&obs.DecisionEvent{
+			At:             now,
+			Service:        e.prof.Name,
+			Mode:           e.mode.String(),
+			Target:         d.Target.String(),
+			LoadQPS:        d.LoadQPS,
+			AdmissibleQPS:  d.AdmissibleQPS,
+			Mu:             d.Mu,
+			NMax:           e.ctrl.Predictor().NMax,
+			Pressure:       ambient,
+			PostPressure:   post,
+			Weights:        w.W,
+			Intercept:      w.Intercept,
+			WeightsLearned: w.Learned,
+			Blocked:        d.Blocked,
+			Verdict:        verdict,
+			Reason:         reason,
+		})
+	}
+	if d.Target != e.mode && dwellOK {
 		e.startSwitch(d.Target, d.LoadQPS)
 	}
 }
@@ -329,6 +366,19 @@ func (e *Engine) currentAlloc() resources.Vector {
 func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 	e.switching = true
 	e.lastSwitch = float64(e.sim.Now())
+	// The span is tracked per switch and carried through the protocol's
+	// callbacks — a field would be clobbered if the next switch began
+	// while the previous drain was still in flight. nil when unobserved.
+	var sp *obs.SwitchSpan
+	if e.bus.Active() {
+		sp = &obs.SwitchSpan{
+			Service: e.prof.Name,
+			From:    e.mode.String(),
+			To:      target.String(),
+			Start:   units.Seconds(e.sim.Now()),
+			LoadQPS: load,
+		}
+	}
 	switch target {
 	case metrics.BackendServerless:
 		// S_pw: prewarm per Eq. 7 plus headroom, flip on acknowledgement.
@@ -339,11 +389,20 @@ func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load.Raw())
 			// The IaaS side drains its in-flight queries, then releases
 			// the VMs (S_sd).
-			e.vms.Stop(e.prof.Name, nil)
+			var onStopped func()
+			if sp != nil {
+				sp.FlipAt = units.Seconds(e.sim.Now())
+				sp.PrewarmS = sp.FlipAt - sp.Start
+				onStopped = func() { e.closeSpan(sp, false) }
+			}
+			e.vms.Stop(e.prof.Name, onStopped)
 		}
 		if e.cfg.Prewarm {
 			n := queueing.PrewarmCount(load, units.Seconds(e.prof.QoSTarget)) + e.cfg.PrewarmHeadroom
-			e.pool.Prewarm(e.prof.Name, n, flip)
+			started := e.pool.Prewarm(e.prof.Name, n, flip)
+			if sp != nil {
+				sp.Prewarmed = started
+			}
 		} else {
 			flip() // Amoeba-NoP: route immediately, cold starts and all
 		}
@@ -355,21 +414,42 @@ func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 			e.ctrl.SetMode(target)
 			e.switching = false
 			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load.Raw())
-			e.drainServerless()
+			if sp != nil {
+				sp.FlipAt = units.Seconds(e.sim.Now())
+				sp.PrewarmS = sp.FlipAt - sp.Start
+			}
+			e.drainServerless(sp)
 		})
 	}
 }
 
+// closeSpan stamps the release instant on a tracked switch span and
+// emits it. sp is nil when the switch began unobserved.
+func (e *Engine) closeSpan(sp *obs.SwitchSpan, aborted bool) {
+	if sp == nil {
+		return
+	}
+	now := units.Seconds(e.sim.Now())
+	sp.At, sp.End = now, now
+	sp.DrainS = now - sp.FlipAt
+	sp.Aborted = aborted
+	e.bus.Emit(sp)
+}
+
 // drainServerless releases the service's warm containers once its
-// in-flight activations finish (S_sd for the serverless side).
-func (e *Engine) drainServerless() {
+// in-flight activations finish (S_sd for the serverless side). sp is the
+// switch span being tracked (nil when unobserved).
+func (e *Engine) drainServerless(sp *obs.SwitchSpan) {
 	var poll func()
 	poll = func() {
 		if e.mode != metrics.BackendIaaS {
-			return // switched back meanwhile; keep the containers
+			// Switched back meanwhile; keep the containers.
+			e.closeSpan(sp, true)
+			return
 		}
 		if e.pool.Inflight(e.prof.Name) == 0 {
 			e.pool.ReleaseIdle(e.prof.Name)
+			e.closeSpan(sp, false)
 			return
 		}
 		e.sim.After(e.cfg.DrainPoll.Raw(), poll)

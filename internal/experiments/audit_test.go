@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"amoeba/internal/workload"
+)
+
+func TestDecisionAudit(t *testing.T) {
+	skipIfRace(t)
+	cfg := quickCfg()
+	cfg.DayLength = 900
+	r := DecisionAudit(cfg, workload.DD())
+	if r.Events == 0 {
+		t.Fatal("audit run emitted no events")
+	}
+	if r.Decisions.Rows() == 0 {
+		t.Error("decision-audit table is empty")
+	}
+	if r.Switches.Rows() == 0 {
+		t.Error("switch-span table is empty over a diurnal day")
+	}
+	out := r.Decisions.String()
+	for _, col := range []string{"verdict", "reason", "mu", "admissible_qps"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("decision table missing column %q", col)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"amoeba/internal/cluster"
 	"amoeba/internal/metrics"
+	"amoeba/internal/obs"
 	"amoeba/internal/queueing"
 	"amoeba/internal/resources"
 	"amoeba/internal/sim"
@@ -87,6 +88,7 @@ type Platform struct {
 	sim      *sim.Simulator
 	cfg      Config
 	rng      *sim.RNG
+	bus      *obs.Bus
 	services map[string]*service
 }
 
@@ -103,6 +105,11 @@ func New(s *sim.Simulator, cfg Config) *Platform {
 		services: make(map[string]*service),
 	}
 }
+
+// SetBus attaches the telemetry bus; the platform emits QueryComplete on
+// every finished query. A nil bus (the default) keeps emission sites on
+// their zero-cost path.
+func (p *Platform) SetBus(b *obs.Bus) { p.bus = b }
 
 // ProvisionSlots returns the "just-enough" worker count for a profile: the
 // minimum slots keeping the QoS-quantile response of an M/M/k at peak
@@ -214,6 +221,18 @@ func (p *Platform) startQuery(svc *service, arrived sim.Time) {
 		svc.busy--
 		svc.inflight--
 		svc.busyUsage.Adjust(float64(p.sim.Now()), consumed.Scale(-1))
+		if p.bus.Active() {
+			p.bus.Emit(&obs.QueryComplete{
+				At:         units.Seconds(p.sim.Now()),
+				Service:    prof.Name,
+				Backend:    metrics.BackendIaaS.String(),
+				Arrived:    units.Seconds(arrived),
+				Latency:    units.Seconds(p.sim.Now() - arrived),
+				Queue:      units.Seconds(bd.Queue),
+				Processing: units.Seconds(bd.Processing),
+				Exec:       units.Seconds(bd.Exec),
+			})
+		}
 		if svc.onComplete != nil {
 			svc.onComplete(metrics.QueryRecord{
 				Service:   prof.Name,

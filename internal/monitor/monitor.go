@@ -20,6 +20,7 @@ import (
 	"amoeba/internal/linalg"
 	"amoeba/internal/meters"
 	"amoeba/internal/metrics"
+	"amoeba/internal/obs"
 	"amoeba/internal/pca"
 	"amoeba/internal/serverless"
 	"amoeba/internal/sim"
@@ -125,6 +126,7 @@ type Monitor struct {
 	sim    *sim.Simulator
 	pool   *serverless.Platform
 	cfg    Config
+	bus    *obs.Bus
 	curves [3]*meters.Curve
 
 	meterLat  [3]*stats.EWMA
@@ -173,6 +175,12 @@ func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, c
 	return m
 }
 
+// SetBus attaches the telemetry bus; the monitor emits MeterSample on
+// every pressure refresh and HeartbeatSample on every calibration
+// sample. A nil bus (the default) keeps emission sites on their
+// zero-cost path.
+func (m *Monitor) SetBus(b *obs.Bus) { m.bus = b }
+
 // Start launches the meter probes and the periodic pressure update.
 // It panics if called twice.
 func (m *Monitor) Start() {
@@ -207,6 +215,17 @@ func (m *Monitor) refresh() {
 		if m.meterLat[i].Initialized() {
 			m.pressure[i] = m.curves[i].PressureFor(units.Seconds(m.meterLat[i].Value()))
 		}
+	}
+	if m.bus.Active() {
+		m.bus.Emit(&obs.MeterSample{
+			At: units.Seconds(m.sim.Now()),
+			Latency: [3]units.Seconds{
+				units.Seconds(m.meterLat[0].Value()),
+				units.Seconds(m.meterLat[1].Value()),
+				units.Seconds(m.meterLat[2].Value()),
+			},
+			Pressure: m.pressure,
+		})
 	}
 }
 
@@ -245,6 +264,18 @@ func (m *Monitor) Heartbeat(service string, features [3]float64, observedSlowdow
 	}
 	if m.cfg.UsePCA && len(win.features) >= m.cfg.MinSamples {
 		m.recalibrate(win)
+	}
+	if m.bus.Active() {
+		m.bus.Emit(&obs.HeartbeatSample{
+			At:        units.Seconds(m.sim.Now()),
+			Service:   service,
+			Features:  features,
+			Observed:  observedSlowdown,
+			Window:    len(win.features),
+			Weights:   win.weights.W,
+			Intercept: win.weights.Intercept,
+			Learned:   win.weights.Learned,
+		})
 	}
 }
 

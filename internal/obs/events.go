@@ -1,0 +1,186 @@
+package obs
+
+import "amoeba/internal/units"
+
+// QueryComplete is one finished query with its full latency anatomy
+// (the per-record view behind Fig. 4 and Fig. 10).
+type QueryComplete struct {
+	Kind    Kind          `json:"kind"`
+	At      units.Seconds `json:"at"`
+	Service string        `json:"service"`
+	Backend string        `json:"backend"`
+	// Arrived is the query's arrival instant; At - Arrived is the
+	// end-to-end latency, also broken down below.
+	Arrived units.Seconds `json:"arrived"`
+	Latency units.Seconds `json:"latency_s"`
+	// Latency anatomy, mirroring metrics.Breakdown.
+	Queue      units.Seconds `json:"queue_s"`
+	ColdStart  units.Seconds `json:"cold_start_s"`
+	Processing units.Seconds `json:"processing_s"`
+	CodeLoad   units.Seconds `json:"code_load_s"`
+	Exec       units.Seconds `json:"exec_s"`
+	Post       units.Seconds `json:"post_s"`
+}
+
+// EventKind implements Event.
+func (*QueryComplete) EventKind() Kind { return KindQueryComplete }
+
+// EventTime implements Event.
+func (e *QueryComplete) EventTime() units.Seconds { return e.At }
+
+// ColdStart is one container start completing on the serverless
+// platform. Prewarm distinguishes §V-A switch-triggered prewarming
+// (the container warms idle) from a query-visible cold start (a query
+// paid the delay).
+type ColdStart struct {
+	Kind    Kind          `json:"kind"`
+	At      units.Seconds `json:"at"`
+	Service string        `json:"service"`
+	Delay   units.Seconds `json:"delay_s"`
+	Prewarm bool          `json:"prewarm"`
+}
+
+// EventKind implements Event.
+func (*ColdStart) EventKind() Kind { return KindColdStart }
+
+// EventTime implements Event.
+func (e *ColdStart) EventTime() units.Seconds { return e.At }
+
+// DecisionEvent is one controller decision period, carrying the full
+// Eq. 5 discriminant inputs and outputs: the load estimate λ, the
+// predicted per-container capacity μ_n (Eq. 6), the admissible load
+// λ(μ_n), the quantified per-resource pressure (current and predicted
+// post-switch), the calibrated Eq. 6 weights, and the verdict with its
+// human-readable reason. One row of the decision-audit trail.
+type DecisionEvent struct {
+	Kind    Kind          `json:"kind"`
+	At      units.Seconds `json:"at"`
+	Service string        `json:"service"`
+	// Mode is the deployment mode the decision was taken in; Target is
+	// the mode the controller wants (equal to Mode unless switching).
+	Mode   string `json:"mode"`
+	Target string `json:"target"`
+	// LoadQPS is the EWMA load estimate V_u; AdmissibleQPS is λ(μ_n).
+	LoadQPS       units.QPS `json:"load_qps"`
+	AdmissibleQPS units.QPS `json:"admissible_qps"`
+	// Mu is the predicted per-container capacity μ_n of Eq. 6.
+	Mu units.ServiceRate `json:"mu"`
+	// NMax is the per-tenant container cap N of the M/M/N discriminant.
+	NMax int `json:"n_max"`
+	// Pressure is the monitor's ambient estimate {P_cpu, P_io, P_net};
+	// PostPressure adds this service's own predicted serverless demand
+	// (the §III co-tenant safety input).
+	Pressure     [3]float64 `json:"pressure"`
+	PostPressure [3]float64 `json:"post_pressure"`
+	// Weights are the calibrated Eq. 6 weights w_i with intercept;
+	// WeightsLearned is false while w₀ is still in effect.
+	Weights        [3]float64 `json:"weights"`
+	Intercept      float64    `json:"intercept"`
+	WeightsLearned bool       `json:"weights_learned"`
+	// Blocked marks a load-indicated switch-in vetoed by the safety
+	// check; Verdict/Reason explain the outcome in words.
+	Blocked bool   `json:"blocked"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason"`
+}
+
+// EventKind implements Event.
+func (*DecisionEvent) EventKind() Kind { return KindDecision }
+
+// EventTime implements Event.
+func (e *DecisionEvent) EventTime() units.Seconds { return e.At }
+
+// SwitchSpan is one deploy-mode transition as a span over the §V-B
+// switch protocol, with one duration per phase:
+//
+//	prewarm  capacity preparation on the target backend (Eq. 7
+//	         container prewarm for switch-in, VM boot for switch-out)
+//	ack      readiness acknowledgement reaching the engine (this
+//	         simulation delivers it in the same event as prewarm
+//	         completion, so AckS is 0 by construction)
+//	flip     the route flip (instantaneous in this model)
+//	drain    old backend finishing its in-flight queries
+//	release  old backend's resources actually freed
+//
+// The span is emitted when the release completes (At == End), or when
+// the drain is abandoned because the engine switched back meanwhile
+// (Aborted true, release never happened).
+type SwitchSpan struct {
+	Kind    Kind          `json:"kind"`
+	At      units.Seconds `json:"at"`
+	Service string        `json:"service"`
+	From    string        `json:"from"`
+	To      string        `json:"to"`
+	// Start is the decision instant the protocol began; FlipAt is when
+	// the route flipped (Timeline.RecordSwitch's timestamp); End is
+	// when the old backend's resources were released (== At).
+	Start  units.Seconds `json:"start"`
+	FlipAt units.Seconds `json:"flip_at"`
+	End    units.Seconds `json:"end"`
+	// Per-phase durations; Start + Prewarm + Ack + Flip + Drain +
+	// Release == End for a non-aborted span.
+	PrewarmS units.Seconds `json:"prewarm_s"`
+	AckS     units.Seconds `json:"ack_s"`
+	FlipS    units.Seconds `json:"flip_s"`
+	DrainS   units.Seconds `json:"drain_s"`
+	ReleaseS units.Seconds `json:"release_s"`
+	// LoadQPS is the load estimate the switch decision was taken at.
+	LoadQPS units.QPS `json:"load_qps"`
+	// Prewarmed counts containers started by the prewarm phase
+	// (switch-in only).
+	Prewarmed int `json:"prewarmed"`
+	// Aborted marks a span whose drain was abandoned by a reverse
+	// switch; the old backend kept its resources.
+	Aborted bool `json:"aborted"`
+}
+
+// EventKind implements Event.
+func (*SwitchSpan) EventKind() Kind { return KindSwitchSpan }
+
+// EventTime implements Event.
+func (e *SwitchSpan) EventTime() units.Seconds { return e.At }
+
+// HeartbeatSample is one engine→monitor calibration sample (§VI-A): the
+// degradation features the latency surfaces predicted at the current
+// pressure, the slowdown the service actually observed, and the Eq. 6
+// weights in effect after folding the sample in.
+type HeartbeatSample struct {
+	Kind    Kind          `json:"kind"`
+	At      units.Seconds `json:"at"`
+	Service string        `json:"service"`
+	// Features are the predicted degradations e_i of Eq. 6; Observed is
+	// the measured slowdown (>= 1) they are regressed against.
+	Features [3]float64 `json:"features"`
+	Observed float64    `json:"observed"`
+	// Window is the number of samples in the calibration window after
+	// this one.
+	Window int `json:"window"`
+	// Weights/Intercept/Learned echo the post-recalibration state.
+	Weights   [3]float64 `json:"weights"`
+	Intercept float64    `json:"intercept"`
+	Learned   bool       `json:"learned"`
+}
+
+// EventKind implements Event.
+func (*HeartbeatSample) EventKind() Kind { return KindHeartbeat }
+
+// EventTime implements Event.
+func (e *HeartbeatSample) EventTime() units.Seconds { return e.At }
+
+// MeterSample is one monitor pressure refresh: the smoothed latency of
+// each contention meter and the pressure obtained by inverting its
+// profiling curve (§IV-B Measurement).
+type MeterSample struct {
+	Kind Kind          `json:"kind"`
+	At   units.Seconds `json:"at"`
+	// Latency holds the EWMA-smoothed meter latencies in meter order
+	// (CPU, IO, net); Pressure the curve-inverted estimates.
+	Latency  [3]units.Seconds `json:"latency_s"`
+	Pressure [3]float64       `json:"pressure"`
+}
+
+// EventKind implements Event.
+func (*MeterSample) EventKind() Kind { return KindMeterSample }
+
+// EventTime implements Event.
+func (e *MeterSample) EventTime() units.Seconds { return e.At }

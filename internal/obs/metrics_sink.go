@@ -1,0 +1,71 @@
+package obs
+
+// Latency histogram shape shared by every latency-valued series: 1 ms
+// to ~100 s at 32 sub-buckets per octave (~3% worst-case quantile
+// error, 544 buckets).
+const (
+	latencyLo  = 1e-3
+	latencyHi  = 100.0
+	latencySub = 32
+)
+
+// MetricsSink folds the event stream into a Registry: query and
+// cold-start counters, per-service latency histograms, decision and
+// switch counters, and pressure/load gauges. Attach one to a Bus to get
+// a scrape-able snapshot of a run at any point (amoeba-sim
+// -metrics-dump renders it after the horizon).
+type MetricsSink struct {
+	reg *Registry
+}
+
+// NewMetricsSink builds a sink updating reg.
+func NewMetricsSink(reg *Registry) *MetricsSink { return &MetricsSink{reg: reg} }
+
+// Registry returns the registry the sink updates.
+func (m *MetricsSink) Registry() *Registry { return m.reg }
+
+// Consume implements Sink.
+func (m *MetricsSink) Consume(ev Event) {
+	switch e := ev.(type) {
+	case *QueryComplete:
+		m.reg.Counter(Labeled("amoeba_queries_total",
+			"service", e.Service, "backend", e.Backend)).Inc()
+		m.reg.Histogram(Labeled("amoeba_latency_seconds", "service", e.Service),
+			latencyLo, latencyHi, latencySub).Observe(e.Latency.Raw())
+	case *ColdStart:
+		kind := "query"
+		if e.Prewarm {
+			kind = "prewarm"
+		}
+		m.reg.Counter(Labeled("amoeba_cold_starts_total",
+			"service", e.Service, "trigger", kind)).Inc()
+		m.reg.Histogram("amoeba_cold_start_seconds",
+			latencyLo, latencyHi, latencySub).Observe(e.Delay.Raw())
+	case *DecisionEvent:
+		m.reg.Counter(Labeled("amoeba_decisions_total",
+			"service", e.Service, "verdict", e.Verdict)).Inc()
+		m.reg.Gauge(Labeled("amoeba_load_qps", "service", e.Service)).Set(e.LoadQPS.Raw())
+		m.reg.Gauge(Labeled("amoeba_admissible_qps", "service", e.Service)).Set(e.AdmissibleQPS.Raw())
+		m.reg.Gauge(Labeled("amoeba_mu", "service", e.Service)).Set(e.Mu.Raw())
+		for i, res := range [...]string{"cpu", "io", "net"} {
+			m.reg.Gauge(Labeled("amoeba_pressure", "resource", res)).Set(e.Pressure[i])
+		}
+	case *SwitchSpan:
+		m.reg.Counter(Labeled("amoeba_switches_total",
+			"service", e.Service, "to", e.To)).Inc()
+		if !e.Aborted {
+			m.reg.Histogram(Labeled("amoeba_switch_duration_seconds", "to", e.To),
+				latencyLo, latencyHi, latencySub).Observe((e.End - e.Start).Raw())
+		}
+	case *HeartbeatSample:
+		m.reg.Counter(Labeled("amoeba_heartbeats_total", "service", e.Service)).Inc()
+	case *MeterSample:
+		for i, res := range [...]string{"cpu", "io", "net"} {
+			m.reg.Gauge(Labeled("amoeba_meter_latency_seconds", "meter", res)).Set(e.Latency[i].Raw())
+			m.reg.Gauge(Labeled("amoeba_meter_pressure", "meter", res)).Set(e.Pressure[i])
+		}
+	default:
+		m.reg.Counter(Labeled("amoeba_events_total",
+			"kind", string(ev.EventKind()))).Inc()
+	}
+}

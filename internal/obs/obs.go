@@ -1,0 +1,122 @@
+// Package obs is the unified telemetry layer: a deterministic,
+// sim-clock-driven event bus with pluggable sinks, plus a bounded
+// metric registry for counter/gauge/histogram exposition.
+//
+// Amoeba's whole value is a runtime decision — the §IV discriminant
+// (Eq. 5) fed by the predicted per-container capacity μ_n (Eq. 6) — and
+// this package makes every such decision, every switch-protocol phase
+// (§V prewarm → ack → flip → drain → release), and every platform signal
+// (cold starts, meter probes, heartbeat calibrations, completed queries)
+// observable after the fact. The answer to "why did it switch at
+// t=437s?" is one DecisionEvent plus one SwitchSpan in the event log,
+// not a debugger session.
+//
+// Determinism contract: every event timestamp comes from the simulation
+// clock — never the wall clock — and events are emitted from within
+// simulator callbacks on a single goroutine, so the event stream of a
+// run is a pure function of (scenario, seed). Two identical-seed runs
+// produce byte-identical JSONL streams; the nodeterminism analyzer
+// machine-checks the no-wall-clock half of the contract.
+//
+// Overhead contract: emission sites guard with Bus.Active() before
+// constructing an event, so an unobserved run (nil bus or no sinks)
+// pays one nil check and one branch per site — zero allocations,
+// benchmarked by BenchmarkEventEmit and pinned by a zero-alloc test.
+package obs
+
+import "amoeba/internal/units"
+
+// Kind discriminates event types in the serialized stream.
+type Kind string
+
+// The event taxonomy. Each kind corresponds to exactly one concrete
+// event struct in this package.
+const (
+	// KindQueryComplete is one finished query with its latency anatomy.
+	KindQueryComplete Kind = "query_complete"
+	// KindColdStart is one container start completing (cold or prewarm).
+	KindColdStart Kind = "cold_start"
+	// KindDecision is one controller decision period with the full
+	// Eq. 5 discriminant inputs and outputs.
+	KindDecision Kind = "decision"
+	// KindSwitchSpan is one deploy-mode transition with per-phase
+	// durations of the §V switch protocol.
+	KindSwitchSpan Kind = "switch_span"
+	// KindHeartbeat is one engine→monitor calibration sample (§VI-A).
+	KindHeartbeat Kind = "heartbeat"
+	// KindMeterSample is one monitor pressure refresh from the three
+	// contention meters (§IV-B).
+	KindMeterSample Kind = "meter_sample"
+)
+
+// Event is one telemetry record. Concrete events are emitted as
+// pointers; EventTime returns the sim-clock instant the event was
+// emitted at, which is non-decreasing over a run's stream.
+type Event interface {
+	EventKind() Kind
+	EventTime() units.Seconds
+}
+
+// Sink consumes emitted events. Sinks run synchronously inside the
+// simulation event that emitted, so they must not re-enter the
+// simulator; they may retain the event (events are never mutated after
+// emission).
+type Sink interface {
+	Consume(Event)
+}
+
+// Bus fans emitted events out to its sinks. A nil *Bus is valid and
+// inert, so components can hold one unconditionally. The zero value is
+// an active bus with no sinks.
+//
+// The bus is not safe for concurrent use — like the simulator it serves,
+// it lives on one goroutine; parallel experiment sweeps attach one bus
+// per simulation.
+type Bus struct {
+	sinks []Sink
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach adds a sink. Events emitted before the first Attach are lost by
+// design: observation is opt-in per run.
+func (b *Bus) Attach(s Sink) {
+	b.sinks = append(b.sinks, s)
+}
+
+// Active reports whether emitting would reach any sink. Emission sites
+// must guard with it before constructing an event — that guard is the
+// zero-overhead fast path of the package contract.
+func (b *Bus) Active() bool { return b != nil && len(b.sinks) > 0 }
+
+// Emit stamps the event's Kind field and hands it to every sink in
+// attach order. Emitting on an inactive bus is a no-op.
+func (b *Bus) Emit(ev Event) {
+	if !b.Active() {
+		return
+	}
+	stamp(ev)
+	for _, s := range b.sinks {
+		s.Consume(ev)
+	}
+}
+
+// stamp fills the serialized kind discriminator on the concrete struct.
+// Doing it here keeps emission sites free of redundant Kind fields.
+func stamp(ev Event) {
+	switch e := ev.(type) {
+	case *QueryComplete:
+		e.Kind = KindQueryComplete
+	case *ColdStart:
+		e.Kind = KindColdStart
+	case *DecisionEvent:
+		e.Kind = KindDecision
+	case *SwitchSpan:
+		e.Kind = KindSwitchSpan
+	case *HeartbeatSample:
+		e.Kind = KindHeartbeat
+	case *MeterSample:
+		e.Kind = KindMeterSample
+	}
+}

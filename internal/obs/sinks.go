@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONLWriter serializes every event as one JSON object per line, in
+// emission order. Because events are structs (encoding/json emits
+// struct fields in declaration order) and all timestamps come from the
+// sim clock, the byte stream of a run is deterministic: identical
+// scenario + seed ⇒ identical bytes.
+//
+// Write errors are sticky: the first one is retained, later events are
+// dropped, and Err reports it. A sink must not panic mid-simulation —
+// losing telemetry is better than losing the run.
+type JSONLWriter struct {
+	w   io.Writer
+	err error
+	n   int
+}
+
+// NewJSONLWriter wraps w. The caller owns buffering and closing.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return &JSONLWriter{w: w} }
+
+// Consume implements Sink.
+func (j *JSONLWriter) Consume(ev Event) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		j.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.n++
+}
+
+// Count returns the number of events written so far.
+func (j *JSONLWriter) Count() int { return j.n }
+
+// Err returns the first write or marshal error, if any.
+func (j *JSONLWriter) Err() error { return j.err }
+
+// Ring is a bounded in-memory sink keeping the most recent events. It
+// is the cheap always-on option: a run can carry a few thousand events
+// for post-mortem rendering (decision-audit tables, switch timelines)
+// without unbounded growth on long horizons.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	seen    int
+}
+
+// NewRing returns a ring that retains the last n events. It panics if
+// n is not positive.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Consume implements Sink.
+func (r *Ring) Consume(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	r.seen++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Len returns the number of retained events (≤ capacity).
+func (r *Ring) Len() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Seen returns the total number of events consumed, including evicted
+// ones.
+func (r *Ring) Seen() int { return r.seen }
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.wrapped {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events of one kind, oldest-first.
+func (r *Ring) Filter(k Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.EventKind() == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

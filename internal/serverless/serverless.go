@@ -24,6 +24,7 @@ import (
 	"amoeba/internal/cluster"
 	"amoeba/internal/contention"
 	"amoeba/internal/metrics"
+	"amoeba/internal/obs"
 	"amoeba/internal/queueing"
 	"amoeba/internal/resources"
 	"amoeba/internal/sim"
@@ -148,6 +149,7 @@ type Platform struct {
 	cfg    Config
 	model  *contention.Model
 	rng    *sim.RNG
+	bus    *obs.Bus
 	fns    map[string]*function
 	queue  []*activation
 	demand resources.Vector // aggregate demand of running bodies
@@ -178,6 +180,11 @@ func New(s *sim.Simulator, cfg Config) *Platform {
 // and the profiler use it; the runtime controller must not — it only sees
 // meter readings).
 func (p *Platform) Model() *contention.Model { return p.model }
+
+// SetBus attaches the telemetry bus; the platform emits QueryComplete on
+// every finished activation and ColdStart on every container start. A
+// nil bus (the default) keeps emission sites on their zero-cost path.
+func (p *Platform) SetBus(b *obs.Bus) { p.bus = b }
 
 // RegisterOption customises a function registration.
 type RegisterOption func(*function)
@@ -317,6 +324,13 @@ func (p *Platform) place(act *activation) bool {
 		if c.state == stateDead {
 			return
 		}
+		if p.bus.Active() {
+			p.bus.Emit(&obs.ColdStart{
+				At:      units.Seconds(p.sim.Now()),
+				Service: c.fn.profile.Name,
+				Delay:   units.Seconds(delay),
+			})
+		}
 		bound := c.bound
 		c.bound = nil
 		if bound == nil {
@@ -421,9 +435,18 @@ func (p *Platform) startPrewarmOne(f *function, onWarm func()) bool {
 	}
 	c := p.newContainer(f, statePrewarming)
 	f.warming++
-	p.sim.After(p.sampleColdStart(), func() {
+	delay := p.sampleColdStart()
+	p.sim.After(delay, func() {
 		f.warming--
 		if c.state != stateDead {
+			if p.bus.Active() {
+				p.bus.Emit(&obs.ColdStart{
+					At:      units.Seconds(p.sim.Now()),
+					Service: f.profile.Name,
+					Delay:   units.Seconds(delay),
+					Prewarm: true,
+				})
+			}
 			p.makeIdle(c)
 			p.pump()
 		}
@@ -487,6 +510,21 @@ func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 		f.usage.Adjust(float64(p.sim.Now()), d.Scale(-1))
 		f.inflight--
 		p.completed++
+		if p.bus.Active() {
+			p.bus.Emit(&obs.QueryComplete{
+				At:         units.Seconds(p.sim.Now()),
+				Service:    prof.Name,
+				Backend:    metrics.BackendServerless.String(),
+				Arrived:    units.Seconds(act.arrived),
+				Latency:    units.Seconds(p.sim.Now() - act.arrived),
+				Queue:      units.Seconds(bd.Queue),
+				ColdStart:  units.Seconds(bd.ColdStart),
+				Processing: units.Seconds(bd.Processing),
+				CodeLoad:   units.Seconds(bd.CodeLoad),
+				Exec:       units.Seconds(bd.Exec),
+				Post:       units.Seconds(bd.Post),
+			})
+		}
 		if f.onComplete != nil {
 			f.onComplete(metrics.QueryRecord{
 				Service:   prof.Name,
