@@ -1,0 +1,55 @@
+package panicuser
+
+// This file mirrors the shapes the slab/index event kernel
+// (amoeba/internal/sim) uses, so the contract the real code relies on is
+// pinned by the analyzer suite: validation panics in private helpers and
+// run loops are legal exactly when the doc comment states the contract.
+
+// slot is a slab entry addressed by int32 index, like the kernel's event.
+type slot struct {
+	at   float64
+	dead bool
+}
+
+// kernel owns a slab and an index heap, like sim.Simulator.
+type kernel struct {
+	slab []slot
+	heap []int32
+	now  float64
+}
+
+// schedule enqueues one slot. It panics if at precedes the clock — a
+// stated contract, so the validation panic is legal (the real kernel's
+// private schedule helper documents the same way).
+func (k *kernel) schedule(at float64) int32 {
+	if at < k.now {
+		panic("panicuser: scheduling in the past")
+	}
+	k.slab = append(k.slab, slot{at: at})
+	idx := int32(len(k.slab) - 1)
+	k.heap = append(k.heap, idx)
+	return idx
+}
+
+// run drains the heap. It panics if a slot's time is negative — the
+// contract covers panics reached through index loads inside the loop.
+func (k *kernel) run() {
+	for _, idx := range k.heap {
+		ev := &k.slab[idx]
+		if ev.at < 0 {
+			panic("panicuser: negative slot time")
+		}
+		k.now = ev.at
+	}
+	k.heap = k.heap[:0]
+}
+
+// drainUndocumented has the same loop shape but no stated contract, so
+// the validation behind the index load gets flagged.
+func (k *kernel) drainUndocumented() {
+	for _, idx := range k.heap {
+		if k.slab[idx].at < 0 {
+			panic("panicuser: negative slot time") // want `panic in library code`
+		}
+	}
+}

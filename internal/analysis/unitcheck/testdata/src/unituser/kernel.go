@@ -1,0 +1,31 @@
+package unituser
+
+import "amoeba/internal/units"
+
+// This file mirrors the unit boundaries of the slab/index event kernel:
+// virtual time lives in a non-unit named float (sim.Time), configuration
+// periods arrive as units.Seconds, and the conversion between them is
+// the sanctioned boundary spelling. The suite pins that the kernel's
+// index-based idioms stay unitcheck-clean.
+
+// schedulerStub mimics sim.Simulator's API shape: absolute times are the
+// boundary type, delays are raw float64 seconds at the call boundary.
+type schedulerStub struct {
+	now  Time
+	heap []int32
+}
+
+func (s *schedulerStub) at(t Time)           {}
+func (s *schedulerStub) after(delay float64) {}
+
+// KernelBoundaries covers the conversions the engine makes when driving
+// the kernel with unit-typed configuration.
+func KernelBoundaries(s *schedulerStub, period units.Seconds, horizon units.Seconds) {
+	s.at(Time(period))               // boundary conversion to non-unit Time: fine
+	s.after(period.Raw())            // explicit strip at the call boundary: fine
+	s.at(s.now + Time(horizon))      // offsetting the clock by a converted unit: fine
+	s.after(float64(period))         // want `float64\(\.\.\.\) strips the Seconds unit`
+	_ = units.QPS(horizon)           // want `reinterprets Seconds as QPS`
+	_ = period / horizon             // want `Seconds / Seconds is a dimensionless ratio`
+	_ = units.Ratio(period, horizon) // ticks per horizon, sanctioned spelling
+}

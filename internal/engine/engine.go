@@ -231,6 +231,11 @@ func (e *Engine) maybeShadow() {
 // Mode returns the current routing mode.
 func (e *Engine) Mode() metrics.Backend { return e.mode }
 
+// StreamingP95 returns the collector's running P² estimate of the
+// service's 95%-ile latency. Unlike Collector.P95 it is O(1) to
+// maintain and read, so it is safe to poll every sample period.
+func (e *Engine) StreamingP95() float64 { return e.Collector.StreamingP95() }
+
 // Controller exposes the service's deployment controller.
 func (e *Engine) Controller() *controller.Controller { return e.ctrl }
 

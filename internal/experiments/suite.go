@@ -12,11 +12,22 @@ import (
 // figures that share runs (Fig. 10/11 share Amoeba+Nameko+OpenWhisk;
 // Fig. 12/13 reuse the Amoeba runs; Fig. 14 adds Amoeba-NoM) do not
 // re-simulate.
+//
+// Concurrent callers of the same key are single-flighted: the first
+// claims an in-flight latch and simulates, the rest block on the latch
+// and reuse its result. Without the latch, two goroutines racing past
+// the memo check would both run the (seconds-long) simulation and one
+// result would be discarded.
 type Suite struct {
 	Cfg Config
 
-	mu   sync.Mutex
-	runs map[string]*core.Result
+	mu       sync.Mutex
+	runs     map[string]*core.Result
+	inflight map[string]chan struct{}
+
+	// run performs one simulation; tests substitute it to count
+	// invocations. Defaults to core.Run.
+	run func(core.Scenario) *core.Result
 }
 
 // NewSuite creates an empty suite. It panics if the config fails
@@ -25,30 +36,55 @@ func NewSuite(cfg Config) *Suite {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Suite{Cfg: cfg, runs: make(map[string]*core.Result)}
+	return &Suite{
+		Cfg:      cfg,
+		runs:     make(map[string]*core.Result),
+		inflight: make(map[string]chan struct{}),
+		run:      core.Run,
+	}
 }
 
 // Run returns the (memoised) result of one benchmark under one variant.
 func (s *Suite) Run(prof workload.Profile, v core.Variant) *core.Result {
 	key := fmt.Sprintf("%s|%d", prof.Name, v)
 	s.mu.Lock()
-	if r, ok := s.runs[key]; ok {
+	for {
+		if r, ok := s.runs[key]; ok {
+			s.mu.Unlock()
+			return r
+		}
+		ch, busy := s.inflight[key]
+		if !busy {
+			break
+		}
+		// Another goroutine is simulating this key: wait for its latch,
+		// then re-check the memo (it holds the result — unless the
+		// runner panicked, in which case this goroutine takes over).
 		s.mu.Unlock()
-		return r
+		<-ch
+		s.mu.Lock()
 	}
+	ch := make(chan struct{})
+	s.inflight[key] = ch
 	s.mu.Unlock()
 
-	// Profiles are memoised globally; the run itself is sequential and
-	// deterministic. Build outside the lock so concurrent callers can
-	// work on different keys.
-	r := core.Run(s.Cfg.scenario(prof, v))
+	var r *core.Result
+	defer func() {
+		// Release the latch even if the run panics, so waiters retry
+		// instead of blocking forever.
+		s.mu.Lock()
+		if r != nil {
+			s.runs[key] = r
+		}
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(ch)
+	}()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.runs[key]; ok {
-		return prev
-	}
-	s.runs[key] = r
+	// Profiles are memoised globally; the run itself is sequential and
+	// deterministic. Simulate outside the lock so concurrent callers can
+	// work on different keys.
+	r = s.run(s.Cfg.scenario(prof, v))
 	return r
 }
 

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amoeba/internal/core"
+	"amoeba/internal/workload"
+)
+
+// TestSuiteSingleFlight proves the in-flight latch: many goroutines
+// racing on the same key trigger exactly one simulation. The stub run
+// function sleeps long enough that, without the latch, every goroutine
+// would pass the memo check before the first result lands — the
+// pre-latch Suite ran the simulation once per caller and kept one.
+func TestSuiteSingleFlight(t *testing.T) {
+	s := NewSuite(quickCfg())
+	var calls int32
+	s.run = func(core.Scenario) *core.Result {
+		atomic.AddInt32(&calls, 1)
+		time.Sleep(20 * time.Millisecond) // hold the latch across the race window
+		return &core.Result{}
+	}
+
+	prof := workload.Float()
+	const callers = 16
+	results := make([]*core.Result, callers)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait() // release all callers into Run together
+			results[i] = s.Run(prof, core.VariantAmoeba)
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("%d concurrent callers ran the simulation %d times, want 1", callers, got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d observed a different result pointer", i)
+		}
+	}
+	// The memo must serve later callers without re-running.
+	if r := s.Run(prof, core.VariantAmoeba); r != results[0] || atomic.LoadInt32(&calls) != 1 {
+		t.Fatal("memoised result not reused after the flight completed")
+	}
+}
+
+// TestSuiteSingleFlightDistinctKeys checks that the latch is per-key:
+// different (benchmark, variant) pairs simulate concurrently, once each.
+func TestSuiteSingleFlightDistinctKeys(t *testing.T) {
+	s := NewSuite(quickCfg())
+	var calls int32
+	s.run = func(core.Scenario) *core.Result {
+		atomic.AddInt32(&calls, 1)
+		time.Sleep(5 * time.Millisecond)
+		return &core.Result{}
+	}
+
+	prof := workload.Float()
+	variants := []core.Variant{core.VariantAmoeba, core.VariantNameko, core.VariantOpenWhisk}
+	var wg sync.WaitGroup
+	for _, v := range variants {
+		v := v
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Run(prof, v)
+			}()
+		}
+	}
+	wg.Wait()
+	if got, want := atomic.LoadInt32(&calls), int32(len(variants)); got != want {
+		t.Fatalf("ran %d simulations for %d distinct keys, want one each", got, want)
+	}
+}
+
+// TestSuiteSingleFlightPanicRecovers checks the latch is released when a
+// run panics: waiters take over instead of deadlocking.
+func TestSuiteSingleFlightPanicRecovers(t *testing.T) {
+	s := NewSuite(quickCfg())
+	var calls int32
+	firstIn := make(chan struct{})
+	s.run = func(core.Scenario) *core.Result {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			close(firstIn)
+			time.Sleep(5 * time.Millisecond)
+			panic("injected run failure")
+		}
+		return &core.Result{}
+	}
+
+	prof := workload.Float()
+	done := make(chan *core.Result, 1)
+	go func() {
+		defer func() { recover() }()
+		s.Run(prof, core.VariantAmoeba)
+		done <- nil // unreachable: the first run panics
+	}()
+	// The latch is claimed before s.run is entered, so once firstIn
+	// closes the second caller is guaranteed to wait on it, then take
+	// over after the panic releases it.
+	<-firstIn
+	r := s.Run(prof, core.VariantAmoeba)
+	if r == nil {
+		t.Fatal("takeover run returned nil")
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("run called %d times, want 2 (panicked flight + takeover)", got)
+	}
+	select {
+	case <-done:
+		t.Fatal("panicked caller produced a result")
+	default:
+	}
+}

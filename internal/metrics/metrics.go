@@ -65,6 +65,7 @@ type Collector struct {
 
 	latencies  *stats.Sample
 	normalized *stats.Sample // latency / QoSTarget, Fig. 10's x-axis
+	streamP95  *stats.P2Quantile
 	violations int
 	byBackend  map[Backend]int
 	breakdown  Breakdown // summed, for Fig. 4 means
@@ -81,6 +82,7 @@ func NewCollector(service string, qosTarget float64) *Collector {
 		QoSTarget:  qosTarget,
 		latencies:  stats.NewSample(4096),
 		normalized: stats.NewSample(4096),
+		streamP95:  stats.NewP2Quantile(0.95),
 		byBackend:  make(map[Backend]int),
 	}
 }
@@ -90,6 +92,7 @@ func (c *Collector) Observe(r QueryRecord) {
 	l := r.Latency()
 	c.latencies.Add(l)
 	c.normalized.Add(l / c.QoSTarget)
+	c.streamP95.Add(l)
 	if l > c.QoSTarget {
 		c.violations++
 	}
@@ -106,8 +109,15 @@ func (c *Collector) Observe(r QueryRecord) {
 // Count returns the number of observed queries.
 func (c *Collector) Count() int { return c.latencies.Len() }
 
-// P95 returns the 95%-ile latency — the paper's QoS metric.
+// P95 returns the exact 95%-ile latency — the paper's QoS metric. Exact
+// quantiles keep the full sample; figures (Fig. 10 CDFs) depend on that.
 func (c *Collector) P95() float64 { return c.latencies.P95() }
+
+// StreamingP95 returns the P² estimate of the 95%-ile, maintained in
+// O(1) per observation. Monitors that poll the p95 while a simulation is
+// running use this so the hot path never sorts; the divergence from the
+// exact quantile is bounded by TestStreamingP95TracksExact.
+func (c *Collector) StreamingP95() float64 { return c.streamP95.Value() }
 
 // QoSMet reports whether the 95%-ile latency is within the target.
 func (c *Collector) QoSMet() bool { return c.P95() <= c.QoSTarget }

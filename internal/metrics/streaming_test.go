@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func record(latency float64) QueryRecord {
+	return QueryRecord{Service: "svc", Breakdown: Breakdown{Exec: latency}}
+}
+
+// TestStreamingP95TracksExact bounds the divergence between the
+// collector's P² streaming p95 and the exact sample quantile on
+// latency-shaped (log-normal) data. The bound is what the engine relies
+// on when it polls StreamingP95 instead of sorting the full sample.
+func TestStreamingP95TracksExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCollector("svc", 1.0)
+	for i := 0; i < 50000; i++ {
+		// Log-normal body times: median 100ms, sigma 0.5 — the shape the
+		// workload profiles use.
+		l := 0.1 * math.Exp(0.5*rng.NormFloat64())
+		c.Observe(record(l))
+	}
+	exact := c.P95()
+	stream := c.StreamingP95()
+	if math.IsNaN(stream) {
+		t.Fatal("StreamingP95 returned NaN after 50000 observations")
+	}
+	rel := math.Abs(stream-exact) / exact
+	if rel > 0.05 {
+		t.Errorf("streaming p95 %v diverges from exact %v by %.2f%% (want <= 5%%)",
+			stream, exact, rel*100)
+	}
+}
+
+// TestStreamingP95SmallSample pins the exact fallback below five
+// observations.
+func TestStreamingP95SmallSample(t *testing.T) {
+	c := NewCollector("svc", 1.0)
+	if !math.IsNaN(c.StreamingP95()) {
+		t.Errorf("StreamingP95 on empty collector = %v, want NaN", c.StreamingP95())
+	}
+	c.Observe(record(0.2))
+	c.Observe(record(0.1))
+	if got := c.StreamingP95(); got != 0.2 {
+		t.Errorf("StreamingP95 with 2 observations = %v, want 0.2", got)
+	}
+	// The fallback is nearest-rank, so it brackets the interpolated
+	// exact quantile but need not equal it; it must stay within the
+	// observed range.
+	if got := c.StreamingP95(); got < 0.1 || got > 0.2 {
+		t.Errorf("StreamingP95 %v outside observed range [0.1, 0.2]", got)
+	}
+}
+
+// TestWindowP95PerWindow checks that each closed window carries its own
+// p95 — the estimator resets at window boundaries instead of bleeding
+// one window's tail into the next.
+func TestWindowP95PerWindow(t *testing.T) {
+	w := NewWindowedViolations(10, 1.0)
+	// Window [0,10): constant 0.5s latencies.
+	for i := 0; i < 20; i++ {
+		w.Observe(float64(i)/2, record(0.5))
+	}
+	// Window [10,20): constant 2.0s latencies.
+	for i := 0; i < 20; i++ {
+		w.Observe(10+float64(i)/2, record(2.0))
+	}
+	ws := w.Windows(20)
+	if len(ws) != 2 {
+		t.Fatalf("closed %d windows, want 2", len(ws))
+	}
+	if ws[0].P95 != 0.5 {
+		t.Errorf("window 0 p95 = %v, want 0.5", ws[0].P95)
+	}
+	if ws[1].P95 != 2.0 {
+		t.Errorf("window 1 p95 = %v, want 2.0 (estimator not reset?)", ws[1].P95)
+	}
+}
+
+// TestWindowP95EmptyWindow pins the zero p95 on query-free windows.
+func TestWindowP95EmptyWindow(t *testing.T) {
+	w := NewWindowedViolations(5, 1.0)
+	w.Observe(1, record(3.0))
+	// Nothing between t=5 and t=25.
+	w.Observe(26, record(0.4))
+	ws := w.Windows(30)
+	if len(ws) != 6 {
+		t.Fatalf("closed %d windows, want 6", len(ws))
+	}
+	if ws[0].P95 != 3.0 {
+		t.Errorf("window 0 p95 = %v, want 3.0", ws[0].P95)
+	}
+	for i := 1; i < 5; i++ {
+		if ws[i].Queries != 0 || ws[i].P95 != 0 {
+			t.Errorf("empty window %d = %+v, want zero queries and zero p95", i, ws[i])
+		}
+	}
+	if ws[5].P95 != 0.4 {
+		t.Errorf("window 5 p95 = %v, want 0.4", ws[5].P95)
+	}
+}

@@ -122,6 +122,15 @@ type container struct {
 	idleAt  sim.Time
 	reclaim sim.EventHandle
 	bound   *activation // query waiting for this cold start
+
+	// Per-activation scratch, valid while state == stateBusy. The finish
+	// and expire callbacks are built once per container so the warm
+	// execute path schedules kernel events without allocating closures.
+	arrived sim.Time
+	bd      metrics.Breakdown
+	demand  resources.Vector
+	finish  func() // completes the running activation
+	expire  func() // reclaims the container after an idle timeout
 }
 
 type activation struct {
@@ -145,16 +154,17 @@ type function struct {
 
 // Platform is the simulated serverless computing platform.
 type Platform struct {
-	sim    *sim.Simulator
-	cfg    Config
-	model  *contention.Model
-	rng    *sim.RNG
-	bus    *obs.Bus
-	fns    map[string]*function
-	queue  []*activation
-	demand resources.Vector // aggregate demand of running bodies
-	memMB  float64          // memory allocated by live containers
-	nextID int
+	sim     *sim.Simulator
+	cfg     Config
+	model   *contention.Model
+	rng     *sim.RNG
+	bus     *obs.Bus
+	fns     map[string]*function
+	queue   []*activation
+	actFree []*activation    // recycled activations (steady state allocates none)
+	demand  resources.Vector // aggregate demand of running bodies
+	memMB   float64          // memory allocated by live containers
+	nextID  int
 	// counters
 	coldStarts int
 	evictions  int
@@ -278,8 +288,27 @@ func (p *Platform) Invoke(name string) {
 		return
 	}
 	f.inflight++
-	p.queue = append(p.queue, &activation{fn: f, arrived: p.sim.Now()})
+	p.queue = append(p.queue, p.takeActivation(f))
 	p.pump()
+}
+
+// takeActivation reuses a recycled activation or allocates a fresh one.
+func (p *Platform) takeActivation(f *function) *activation {
+	if n := len(p.actFree); n > 0 {
+		act := p.actFree[n-1]
+		p.actFree = p.actFree[:n-1]
+		act.fn = f
+		act.arrived = p.sim.Now()
+		return act
+	}
+	return &activation{fn: f, arrived: p.sim.Now()}
+}
+
+// putActivation recycles an activation once execute has copied what it
+// needs out of it.
+func (p *Platform) putActivation(act *activation) {
+	act.fn = nil
+	p.actFree = append(p.actFree, act)
 }
 
 // pump scans the FIFO queue in arrival order, placing every activation
@@ -302,6 +331,7 @@ func (p *Platform) place(act *activation) bool {
 		c := f.idle[len(f.idle)-1] // most recently used: best cache behaviour
 		f.idle = f.idle[:len(f.idle)-1]
 		c.reclaim.Cancel()
+		c.reclaim = sim.EventHandle{} // drop the stale handle
 		p.execute(c, act, 0)
 		p.replenish(f)
 		return true
@@ -373,6 +403,15 @@ func (p *Platform) evictIdle(requester *function) bool {
 func (p *Platform) newContainer(f *function, st containerState) *container {
 	p.nextID++
 	c := &container{id: p.nextID, fn: f, state: st}
+	c.finish = func() { p.finishExec(c) }
+	c.expire = func() {
+		// The warm-pool floor survives idle reclaim. Stale fires are
+		// impossible: reuse cancels the reclaim handle, and the state
+		// check guards the destroy.
+		if c.state == stateIdle && len(c.fn.idle) > c.fn.minWarm {
+			p.destroy(c)
+		}
+	}
 	f.containers++
 	p.memMB += p.cfg.ContainerMemMB.Raw()
 	f.usage.Adjust(float64(p.sim.Now()), resources.Vector{MemMB: p.cfg.ContainerMemMB.Raw()})
@@ -403,12 +442,7 @@ func (p *Platform) makeIdle(c *container) {
 	c.state = stateIdle
 	c.idleAt = p.sim.Now()
 	c.fn.idle = append(c.fn.idle, c)
-	c.reclaim = p.sim.After(p.cfg.IdleTimeout.Raw(), func() {
-		// The warm-pool floor survives idle reclaim.
-		if c.state == stateIdle && len(c.fn.idle) > c.fn.minWarm {
-			p.destroy(c)
-		}
-	})
+	c.reclaim = p.sim.After(p.cfg.IdleTimeout.Raw(), c.expire)
 }
 
 // replenish keeps the function's warm-pool floor filled.
@@ -465,14 +499,19 @@ func (p *Platform) sampleColdStart() float64 {
 
 // execute models the activation's latency anatomy and demand. coldDelay
 // is the cold-start time already paid before this call (zero on the warm
-// path).
+// path). The activation is recycled here: everything the completion needs
+// is copied into the container's scratch fields, and the completion event
+// is the container's prebuilt finish callback — the warm path schedules
+// no closures and, in steady state, allocates nothing.
 func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 	f := c.fn
 	prof := f.profile
 	c.state = stateBusy
 
 	now := p.sim.Now()
-	queueWait := float64(now-act.arrived) - coldDelay
+	c.arrived = act.arrived
+	p.putActivation(act)
+	queueWait := float64(now-c.arrived) - coldDelay
 	if queueWait < 0 {
 		queueWait = 0
 	}
@@ -489,7 +528,7 @@ func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 	pressure := p.model.Pressure(p.demand)
 	body *= p.model.Slowdown(pressure, prof.Sensitivity)
 
-	bd := metrics.Breakdown{
+	c.bd = metrics.Breakdown{
 		Queue:      queueWait,
 		ColdStart:  coldDelay,
 		Processing: prof.Overheads.Processing,
@@ -497,45 +536,53 @@ func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 		Exec:       body,
 		Post:       prof.Overheads.ResultPost,
 	}
-	busy := bd.Processing + bd.CodeLoad + bd.Exec + bd.Post
+	busy := c.bd.Processing + c.bd.CodeLoad + c.bd.Exec + c.bd.Post
 
 	// The body's demand joins the platform aggregate for its duration.
 	d := prof.Demand
 	d.MemMB = 0 // memory is accounted per container, not per body
+	c.demand = d
 	p.demand = p.demand.Add(d)
 	f.usage.Adjust(float64(now), d)
 
-	p.sim.After(busy, func() {
-		p.demand = p.demand.Sub(d)
-		f.usage.Adjust(float64(p.sim.Now()), d.Scale(-1))
-		f.inflight--
-		p.completed++
-		if p.bus.Active() {
-			p.bus.Emit(&obs.QueryComplete{
-				At:         units.Seconds(p.sim.Now()),
-				Service:    prof.Name,
-				Backend:    metrics.BackendServerless.String(),
-				Arrived:    units.Seconds(act.arrived),
-				Latency:    units.Seconds(p.sim.Now() - act.arrived),
-				Queue:      units.Seconds(bd.Queue),
-				ColdStart:  units.Seconds(bd.ColdStart),
-				Processing: units.Seconds(bd.Processing),
-				CodeLoad:   units.Seconds(bd.CodeLoad),
-				Exec:       units.Seconds(bd.Exec),
-				Post:       units.Seconds(bd.Post),
-			})
-		}
-		if f.onComplete != nil {
-			f.onComplete(metrics.QueryRecord{
-				Service:   prof.Name,
-				Backend:   metrics.BackendServerless,
-				ArrivedAt: float64(act.arrived),
-				Breakdown: bd,
-			})
-		}
-		p.makeIdle(c)
-		p.pump()
-	})
+	p.sim.After(busy, c.finish)
+}
+
+// finishExec completes the container's running activation: demand leaves
+// the aggregate, the completion callback fires, and the container goes
+// idle.
+func (p *Platform) finishExec(c *container) {
+	f := c.fn
+	prof := f.profile
+	p.demand = p.demand.Sub(c.demand)
+	f.usage.Adjust(float64(p.sim.Now()), c.demand.Scale(-1))
+	f.inflight--
+	p.completed++
+	if p.bus.Active() {
+		p.bus.Emit(&obs.QueryComplete{
+			At:         units.Seconds(p.sim.Now()),
+			Service:    prof.Name,
+			Backend:    metrics.BackendServerless.String(),
+			Arrived:    units.Seconds(c.arrived),
+			Latency:    units.Seconds(p.sim.Now() - c.arrived),
+			Queue:      units.Seconds(c.bd.Queue),
+			ColdStart:  units.Seconds(c.bd.ColdStart),
+			Processing: units.Seconds(c.bd.Processing),
+			CodeLoad:   units.Seconds(c.bd.CodeLoad),
+			Exec:       units.Seconds(c.bd.Exec),
+			Post:       units.Seconds(c.bd.Post),
+		})
+	}
+	if f.onComplete != nil {
+		f.onComplete(metrics.QueryRecord{
+			Service:   prof.Name,
+			Backend:   metrics.BackendServerless,
+			ArrivedAt: float64(c.arrived),
+			Breakdown: c.bd,
+		})
+	}
+	p.makeIdle(c)
+	p.pump()
 }
 
 // Prewarm starts up to n fresh containers for the named function; they

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// Kernel micro-benchmarks. These are the smoke-gated set pinned in
+// BENCH_sim.json: schedule/fire throughput, cancel throughput, recurring
+// tick cost, and a dense mixed queue. They use a shared no-capture
+// callback so the numbers measure the kernel, not the caller's closures,
+// and run in steady state (bounded queue) so allocs/op reflects the
+// per-event cost rather than one-time slab growth.
+
+var benchFired int
+
+func benchFn() { benchFired++ }
+
+// BenchmarkSchedule measures the At+fire round trip: events scheduled at
+// spread offsets, drained in batches of 1024.
+func BenchmarkSchedule(b *testing.B) {
+	s := New(1)
+	var offs [1024]float64
+	rng := NewRNG(3)
+	for i := range offs {
+		offs[i] = rng.Float64() * 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	pending := 0
+	for n := 0; n < b.N; n++ {
+		s.At(s.Now()+Time(offs[n&1023]), benchFn)
+		if pending++; pending == 1024 {
+			s.Run(s.Now() + 200)
+			pending = 0
+		}
+	}
+	s.Run(s.Now() + 200)
+}
+
+// BenchmarkCancel measures schedule+cancel pairs. The kernel must keep
+// the queue bounded (lazy compaction) even though nothing ever fires.
+func BenchmarkCancel(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		h := s.At(s.Now()+1, benchFn)
+		h.Cancel()
+	}
+	s.Run(s.Now() + 2)
+}
+
+// BenchmarkEvery measures the recurring-tick path: one ticker, b.N ticks.
+func BenchmarkEvery(b *testing.B) {
+	s := New(1)
+	stop := s.Every(1, benchFn)
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(Time(b.N))
+}
+
+// BenchmarkRunDense measures a dense mixed queue: batches of 4096 events
+// at pseudo-random offsets, the shape the platform models produce at
+// high load.
+func BenchmarkRunDense(b *testing.B) {
+	const batch = 4096
+	s := New(1)
+	rng := NewRNG(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := s.Now()
+		for j := 0; j < batch; j++ {
+			s.At(base+Time(rng.Float64()*100), benchFn)
+		}
+		s.Run(base + 200)
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}

@@ -1,0 +1,168 @@
+package sim
+
+// Event storage and priority queue. Events live in a flat slab indexed by
+// int32 with an explicit free list; the pending queue is an intrusive
+// 4-ary min-heap over slab indices ordered by (at, seq). Nothing here
+// allocates in steady state: slab, free list and heap all reuse their
+// backing arrays, so the per-event cost is a few cache lines of sifting
+// instead of an allocation plus interface-dispatched container/heap
+// calls. See DESIGN.md §10 for the invariants.
+
+// event is one slab slot. A slot is exactly one of: free (on the free
+// list), queued (in the heap), or mid-fire (popped, fn running). gen
+// increments every time the slot is released, which is what makes stale
+// EventHandles (the ABA problem of slot reuse) harmless.
+type event struct {
+	at     Time
+	seq    uint64 // tie-break so equal-time events fire in schedule order
+	fn     func()
+	period float64 // seconds; > 0 marks a recurring (Every) event
+	gen    uint32
+	queued bool // in the heap
+	dead   bool // cancelled; released when reached (or compacted away)
+	free   bool // on the free list
+}
+
+// alloc takes a slot from the free list (or grows the slab) and
+// initialises it as a queued event. The slot's generation is preserved:
+// it only advances on release.
+func (s *Simulator) alloc(at Time, fn func(), period float64) int32 {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slab = append(s.slab, event{})
+		idx = int32(len(s.slab) - 1)
+	}
+	ev := &s.slab[idx]
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	ev.fn = fn
+	ev.period = period
+	ev.queued = true
+	ev.dead = false
+	ev.free = false
+	return idx
+}
+
+// release returns a slot to the free list and bumps its generation so
+// outstanding handles to the old occupant become no-ops. The callback is
+// dropped so the slab does not retain dead closures.
+func (s *Simulator) release(idx int32) {
+	ev := &s.slab[idx]
+	ev.fn = nil
+	ev.period = 0
+	ev.queued = false
+	ev.dead = false
+	ev.free = true
+	ev.gen++
+	s.free = append(s.free, idx)
+}
+
+// before reports whether slab[a] fires before slab[b]: earlier time
+// first, schedule order (seq) breaking ties.
+func (s *Simulator) before(a, b int32) bool {
+	ea, eb := &s.slab[a], &s.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// push inserts a slab index into the heap.
+func (s *Simulator) push(idx int32) {
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// popMin removes and returns the heap root. The caller must have checked
+// the heap is non-empty.
+func (s *Simulator) popMin() int32 {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+// siftUp restores the heap property upward from position i, moving the
+// hole rather than swapping (one write per level).
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !s.before(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = idx
+}
+
+// siftDown restores the heap property downward from position i. The
+// 4-ary layout halves the tree depth of a binary heap; the extra child
+// comparisons stay within one or two cache lines of int32s.
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.before(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.before(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = idx
+}
+
+// maybeCompact sweeps cancelled events out of the heap once they exceed
+// half of it. Cancel is O(1) (a dead mark); the sweep keeps a
+// pathological schedule/cancel workload from growing the queue without
+// bound while costing amortised O(1) per cancellation.
+func (s *Simulator) maybeCompact() {
+	if s.deadQueued >= 16 && s.deadQueued*2 > len(s.heap) {
+		s.compact()
+	}
+}
+
+// compact rebuilds the heap without its dead entries, releasing their
+// slots. Pop order is unaffected: it is fully determined by the (at, seq)
+// total order, not by the heap's internal layout.
+func (s *Simulator) compact() {
+	live := s.heap[:0]
+	for _, idx := range s.heap {
+		if s.slab[idx].dead {
+			s.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	s.heap = live
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.deadQueued = 0
+}

@@ -8,10 +8,16 @@
 // makes the paper's experiments reproducible as tests and benchmarks.
 // Parallelism in this repository happens *across* simulations (parameter
 // sweeps fan out one simulation per goroutine), never inside one.
+//
+// The kernel is allocation-free in steady state: events live in a
+// generation-counted slab behind an intrusive 4-ary index heap
+// (eventheap.go), recurring tickers reuse their slot across ticks, and
+// cancellation is an O(1) dead mark with a lazy compaction sweep. The
+// performance contracts are documented in DESIGN.md §10 and pinned by
+// BENCH_sim.json.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -30,53 +36,49 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.3fs", float64(t))
 }
 
-// Event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64 // tie-break so equal-time events fire in schedule order
-	fn   func()
-	dead bool
-}
-
 // EventHandle allows a scheduled event to be cancelled before it fires.
-type EventHandle struct{ ev *event }
+// The zero value is valid and cancels nothing. A handle is made ABA-safe
+// by the slot's generation counter: once its event has fired (or been
+// cancelled) and the slot is reused, the stale handle no-ops.
+type EventHandle struct {
+	s   *Simulator
+	idx int32
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Cancellation is O(1): the event is
+// marked dead in place and skipped (or swept out in bulk) later.
 func (h EventHandle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	s := h.s
+	if s == nil {
+		return
 	}
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	ev := &s.slab[h.idx]
+	if ev.gen != h.gen || ev.free || ev.dead {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	ev.dead = true
+	s.cancelled++
+	if ev.queued {
+		s.deadQueued++
+		s.maybeCompact()
+	}
 }
 
 // Simulator owns the virtual clock and the pending-event queue.
 type Simulator struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	rng    *RNG
-	fired  uint64
-	halted bool
+	now  Time
+	slab []event // all event slots; indexed by the heap and the free list
+	free []int32 // released slots available for reuse
+	heap []int32 // pending events, 4-ary min-heap by (at, seq)
+	seq  uint64
+	rng  *RNG
+
+	fired      uint64
+	cancelled  uint64
+	deadQueued int // cancelled events still occupying heap entries
+	halted     bool
 }
 
 // New returns a simulator with its clock at zero, seeded with seed.
@@ -95,19 +97,30 @@ func (s *Simulator) RNG() *RNG { return s.rng }
 // Events returns the number of events fired so far.
 func (s *Simulator) Events() uint64 { return s.fired }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the
-// past panics: it always indicates a model bug.
-func (s *Simulator) At(at Time, fn func()) EventHandle {
+// Cancelled returns the number of events cancelled so far (effective
+// cancels only; no-op cancels of fired or already-dead events don't
+// count).
+func (s *Simulator) Cancelled() uint64 { return s.cancelled }
+
+// schedule validates the firing time and enqueues one event. period > 0
+// marks it recurring. It panics if at precedes the clock or is not
+// finite — both always indicate a model bug.
+func (s *Simulator) schedule(at Time, fn func(), period float64) EventHandle {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, s.now))
 	}
 	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
 		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", float64(at)))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return EventHandle{ev: ev}
+	idx := s.alloc(at, fn, period)
+	s.push(idx)
+	return EventHandle{s: s, idx: idx, gen: s.slab[idx].gen}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it always indicates a model bug.
+func (s *Simulator) At(at Time, fn func()) EventHandle {
+	return s.schedule(at, fn, 0)
 }
 
 // After schedules fn to run delay seconds from now. It panics if the
@@ -116,7 +129,7 @@ func (s *Simulator) After(delay float64, fn func()) EventHandle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	return s.At(s.now+Time(delay), fn)
+	return s.schedule(s.now+Time(delay), fn, 0)
 }
 
 // Halt stops the run loop after the current event returns.
@@ -125,23 +138,49 @@ func (s *Simulator) Halt() { s.halted = true }
 // Run fires events in time order until the queue is empty or the clock
 // would pass horizon. It returns the number of events fired during the
 // call. The clock is left at min(horizon, time of last event); events
-// scheduled beyond the horizon remain queued.
+// scheduled beyond the horizon remain queued. It panics if a recurring
+// event's next firing time overflows to a non-finite value.
 func (s *Simulator) Run(horizon Time) uint64 {
 	var fired uint64
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		next := s.queue[0]
-		if next.at > horizon {
+	for len(s.heap) > 0 && !s.halted {
+		top := s.heap[0]
+		ev := &s.slab[top]
+		if ev.at > horizon {
 			break
 		}
-		heap.Pop(&s.queue)
-		if next.dead {
+		s.popMin()
+		ev.queued = false
+		if ev.dead {
+			s.deadQueued--
+			s.release(top)
 			continue
 		}
-		s.now = next.at
-		next.fn()
+		s.now = ev.at
+		fn := ev.fn
+		fn()
 		fired++
 		s.fired++
+		// fn may have scheduled events and grown the slab: re-resolve the
+		// slot before touching it again.
+		ev = &s.slab[top]
+		if ev.period > 0 && !ev.dead {
+			// Recurring ticker: reuse the slot, fresh (at, seq). The seq is
+			// assigned after fn ran, so events fn scheduled fire before the
+			// next tick at equal times — exactly the order the old
+			// closure-based ticker produced.
+			at := s.now + Time(ev.period)
+			if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+				panic(fmt.Sprintf("sim: scheduling at non-finite time %v", float64(at)))
+			}
+			ev.at = at
+			ev.seq = s.seq
+			s.seq++
+			ev.queued = true
+			s.push(top)
+		} else {
+			s.release(top)
+		}
 	}
 	if s.now < horizon && !s.halted {
 		s.now = horizon
@@ -150,31 +189,17 @@ func (s *Simulator) Run(horizon Time) uint64 {
 }
 
 // Pending returns the number of queued (possibly cancelled) events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // Every schedules fn at the given period, starting one period from now,
 // until the returned stop function is called. fn observes the simulator's
-// clock; the ticker reschedules itself after each firing.
-// It panics if the period is not positive.
+// clock. The ticker owns a single event slot for its whole lifetime: each
+// firing re-queues the same slot with a fresh (at, seq), so a tick costs
+// no allocation. It panics if the period is not positive.
 func (s *Simulator) Every(period float64, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
-	stopped := false
-	var tick func()
-	var handle EventHandle
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			handle = s.After(period, tick)
-		}
-	}
-	handle = s.After(period, tick)
-	return func() {
-		stopped = true
-		handle.Cancel()
-	}
+	h := s.schedule(s.now+Time(period), fn, period)
+	return h.Cancel
 }

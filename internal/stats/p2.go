@@ -18,7 +18,8 @@ type P2Quantile struct {
 	pos     [5]float64 // marker positions (1-based)
 	want    [5]float64 // desired positions
 	inc     [5]float64 // desired-position increments
-	initial []float64  // first five observations before the invariant holds
+	initial [5]float64 // first five observations before the invariant holds
+	ninit   int
 }
 
 // NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
@@ -28,19 +29,41 @@ func NewP2Quantile(p float64) *P2Quantile {
 		panic(fmt.Sprintf("stats: P² quantile %v out of (0,1)", p))
 	}
 	q := &P2Quantile{p: p}
+	q.reinit()
+	return q
+}
+
+// reinit puts the estimator in its fresh state for the configured p.
+func (q *P2Quantile) reinit() {
+	p := q.p
+	q.n = 0
+	q.ninit = 0
+	q.heights = [5]float64{}
+	q.pos = [5]float64{}
 	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
 	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
-	return q
+}
+
+// Reset discards all observations, keeping the configured quantile. The
+// estimator is O(1) memory, so per-window accounting can hold one and
+// reset it at window boundaries without allocating. It panics on an
+// estimator not created with NewP2Quantile.
+func (q *P2Quantile) Reset() {
+	if q.p <= 0 || q.p >= 1 {
+		panic(fmt.Sprintf("stats: Reset of unconfigured P² estimator (p=%v)", q.p))
+	}
+	q.reinit()
 }
 
 // Add records one observation.
 func (q *P2Quantile) Add(x float64) {
 	q.n++
-	if len(q.initial) < 5 {
-		q.initial = append(q.initial, x)
-		if len(q.initial) == 5 {
-			sort.Float64s(q.initial)
-			copy(q.heights[:], q.initial)
+	if q.ninit < 5 {
+		q.initial[q.ninit] = x
+		q.ninit++
+		if q.ninit == 5 {
+			sort.Float64s(q.initial[:])
+			q.heights = q.initial
 			q.pos = [5]float64{1, 2, 3, 4, 5}
 		}
 		return
@@ -110,12 +133,12 @@ func (q *P2Quantile) Value() float64 {
 	if q.n == 0 {
 		return math.NaN()
 	}
-	if len(q.initial) < 5 {
-		tmp := append([]float64(nil), q.initial...)
-		sort.Float64s(tmp)
-		idx := int(q.p * float64(len(tmp)))
-		if idx >= len(tmp) {
-			idx = len(tmp) - 1
+	if q.ninit < 5 {
+		tmp := q.initial // stack copy; sorting must not disturb arrival order
+		sort.Float64s(tmp[:q.ninit])
+		idx := int(q.p * float64(q.ninit))
+		if idx >= q.ninit {
+			idx = q.ninit - 1
 		}
 		return tmp[idx]
 	}

@@ -12,7 +12,9 @@ import (
 
 // Sample collects observations and answers quantile/CDF queries exactly.
 // Observations are kept unsorted until a query arrives; queries sort
-// lazily and cache until the next Add.
+// lazily and cache until the next out-of-order Add: an append that keeps
+// the data sorted (monotone streams, or adds after a query) preserves the
+// cache, so alternating Add/Quantile on ordered data never re-sorts.
 type Sample struct {
 	data   []float64
 	sorted bool
@@ -20,19 +22,37 @@ type Sample struct {
 
 // NewSample returns an empty sample, optionally pre-sized.
 func NewSample(capacity int) *Sample {
-	return &Sample{data: make([]float64, 0, capacity)}
+	return &Sample{data: make([]float64, 0, capacity), sorted: true}
 }
 
 // Add records one observation.
 func (s *Sample) Add(v float64) {
+	if s.sorted && len(s.data) > 0 && v < s.data[len(s.data)-1] {
+		s.sorted = false
+	}
 	s.data = append(s.data, v)
+}
+
+// AddAll records a batch of observations. Empty batches are a no-op (and
+// keep the sort cache); singletons take the Add path.
+func (s *Sample) AddAll(vs []float64) {
+	switch len(vs) {
+	case 0:
+		return
+	case 1:
+		s.Add(vs[0])
+		return
+	}
+	s.data = append(s.data, vs...)
 	s.sorted = false
 }
 
-// AddAll records a batch of observations.
-func (s *Sample) AddAll(vs []float64) {
-	s.data = append(s.data, vs...)
-	s.sorted = false
+// Reset empties the sample, keeping the backing array for reuse —
+// per-window accounting can recycle one sample instead of reallocating
+// every window.
+func (s *Sample) Reset() {
+	s.data = s.data[:0]
+	s.sorted = true
 }
 
 // Len returns the number of observations.
