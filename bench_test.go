@@ -428,6 +428,8 @@ func BenchmarkQuantileWindow(b *testing.B) {
 // guarded no-sink path (which must stay allocation-free — the event
 // literal is never constructed), a ring sink, and the metrics-folding
 // sink. Results are recorded in BENCH_obs.json.
+//
+//amoeba:alloctest obs.Bus.Active obs.Bus.Emit
 func BenchmarkEventEmit(b *testing.B) {
 	mkEvent := func(bus *obs.Bus, i int) {
 		if bus.Active() {

@@ -7,7 +7,10 @@
 //  2. it strictly decodes into that kind's event struct (unknown fields
 //     are an error — they mean the stream and the schema diverged),
 //  3. the "at" timestamps are non-decreasing over the stream (the
-//     determinism contract emits in sim-clock order).
+//     determinism contract emits in sim-clock order),
+//  4. decision events carry one of the six declared controller verdicts
+//     (controller.Verdict.Valid) — a misspelled or novel verdict means
+//     the audit trail and the enum diverged.
 //
 // Usage:
 //
@@ -28,6 +31,7 @@ import (
 	"os"
 	"sort"
 
+	"amoeba/internal/controller"
 	"amoeba/internal/obs"
 	"amoeba/internal/units"
 )
@@ -134,6 +138,11 @@ func decodeStrict(k obs.Kind, line []byte) (obs.Event, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(ev); err != nil {
 		return nil, fmt.Errorf("kind %q: %v", k, err)
+	}
+	if d, ok := ev.(*obs.DecisionEvent); ok {
+		if v := controller.Verdict(d.Verdict); !v.Valid() {
+			return nil, fmt.Errorf("kind %q: verdict %q outside the controller.Verdict enum", k, d.Verdict)
+		}
 	}
 	return ev, nil
 }

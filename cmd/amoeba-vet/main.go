@@ -1,7 +1,7 @@
 // Command amoeba-vet is the repository's static-analysis multichecker: it
-// runs the standard `go vet` suite followed by the six amoeba-specific
-// analyzers that machine-check the determinism, concurrency, and
-// dimensional invariants the reproduction depends on:
+// runs the standard `go vet` suite followed by the nine amoeba-specific
+// analyzers that machine-check the determinism, concurrency, dimensional,
+// and hot-path invariants the reproduction depends on:
 //
 //	nodeterminism  no wall-clock or global-rand calls in simulation code
 //	seedflow       sim.RNG provenance: explicit seeds, no copies, no sharing
@@ -10,6 +10,11 @@
 //	unitcheck      dimensional soundness of internal/units arithmetic,
 //	               conversions, and call sites
 //	boundscheck    constants must respect //amoeba:range annotations
+//	alloccheck     //amoeba:noalloc functions hold no allocation-inducing
+//	               constructs (//amoeba:allowalloc(reason) escapes audited)
+//	hotpath        forbidden APIs (wall clock, global rand, mutexes, I/O)
+//	               unreachable from kernel roots and simulator callbacks
+//	exhaustive     switches over //amoeba:enum types name every member
 //
 // Usage:
 //
@@ -22,11 +27,11 @@
 // annotations (see internal/analysis).
 //
 // The -suppressions mode audits those annotations instead of running the
-// analyzers: it lists every //amoeba:allow in the selected packages —
-// test files included — with its analyzer and justification, and exits
-// non-zero if any annotation lacks a reason. The suppression inventory
-// is the other half of the invariant contract: every escape hatch must
-// say why it is safe.
+// analyzers: it lists every //amoeba:allow and //amoeba:allowalloc(reason)
+// in the selected packages — test files included — with its analyzer and
+// justification, and exits non-zero if any annotation lacks a reason. The
+// suppression inventory is the other half of the invariant contract:
+// every escape hatch must say why it is safe.
 package main
 
 import (
@@ -41,7 +46,10 @@ import (
 	"strings"
 
 	"amoeba/internal/analysis"
+	"amoeba/internal/analysis/alloccheck"
 	"amoeba/internal/analysis/boundscheck"
+	"amoeba/internal/analysis/exhaustive"
+	"amoeba/internal/analysis/hotpath"
 	"amoeba/internal/analysis/lockcheck"
 	"amoeba/internal/analysis/nodeterminism"
 	"amoeba/internal/analysis/paniccheck"
@@ -56,6 +64,9 @@ var analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	unitcheck.Analyzer,
 	boundscheck.Analyzer,
+	alloccheck.Analyzer,
+	hotpath.Analyzer,
+	exhaustive.Analyzer,
 }
 
 func main() {
@@ -176,15 +187,21 @@ func reportSuppressions(patterns []string) error {
 			}
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					aname, reason, ok := analysis.ParseAllow(c.Text)
-					if !ok {
+					if aname, reason, ok := analysis.ParseAllow(c.Text); ok {
+						all = append(all, suppression{
+							pos:      fset.Position(c.Pos()),
+							analyzer: aname,
+							reason:   reason,
+						})
 						continue
 					}
-					all = append(all, suppression{
-						pos:      fset.Position(c.Pos()),
-						analyzer: aname,
-						reason:   reason,
-					})
+					if reason, ok := analysis.ParseAllowAlloc(c.Text); ok {
+						all = append(all, suppression{
+							pos:      fset.Position(c.Pos()),
+							analyzer: "allowalloc",
+							reason:   reason,
+						})
+					}
 				}
 			}
 		}

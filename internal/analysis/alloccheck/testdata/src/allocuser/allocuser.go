@@ -1,0 +1,150 @@
+// Package allocuser exercises alloccheck: allocation-inducing constructs
+// inside //amoeba:noalloc functions are flagged; unannotated setup code,
+// panic arguments, and annotated amortised growth are not.
+package allocuser
+
+import "fmt"
+
+var global []int
+
+func sink(v interface{})       { _ = v }
+func sinks(vs ...interface{})  { _ = vs }
+func take(s string, n int) int { return len(s) + n }
+
+// Ring is a fixed buffer with noalloc hot methods.
+type Ring struct {
+	buf  [8]int
+	n    int
+	vals []int
+}
+
+// Push stores a value without allocating.
+//
+//amoeba:noalloc
+func (r *Ring) Push(v int) {
+	r.buf[r.n&7] = v
+	r.n++
+}
+
+// Grow appends without justification.
+//
+//amoeba:noalloc
+func (r *Ring) Grow(v int) {
+	r.vals = append(r.vals, v) // want `append may grow its backing array in //amoeba:noalloc function Ring\.Grow`
+}
+
+// GrowAllowed documents deliberate amortised growth on the line above.
+//
+//amoeba:noalloc
+func (r *Ring) GrowAllowed(v int) {
+	//amoeba:allowalloc(amortised backing growth, pre-sized in New)
+	r.vals = append(r.vals, v)
+}
+
+// GrowAllowedInline documents the growth on the same line.
+//
+//amoeba:noalloc
+func (r *Ring) GrowAllowedInline(v int) {
+	r.vals = append(r.vals, v) //amoeba:allowalloc(amortised backing growth)
+}
+
+// MakeThings builds containers; all three forms are flagged.
+//
+//amoeba:noalloc
+func MakeThings() {
+	m := make(map[int]int) // want `make allocates`
+	_ = m
+	c := make(chan int) // want `make allocates`
+	_ = c
+	p := new(Ring) // want `new allocates`
+	_ = p
+}
+
+// Composite returns an escaping composite literal.
+//
+//amoeba:noalloc
+func Composite() *Ring {
+	return &Ring{} // want `&composite literal escapes to the heap`
+}
+
+// Closure captures its parameter.
+//
+//amoeba:noalloc
+func Closure(x int) func() int {
+	return func() int { return x } // want `function literal capturing "x" may allocate its closure`
+}
+
+// ClosureFree references only package-level state: no capture, no alloc.
+//
+//amoeba:noalloc
+func ClosureFree() func() int {
+	return func() int { return len(global) }
+}
+
+// Box passes values to interface parameters; only the non-pointer-shaped
+// argument boxes.
+//
+//amoeba:noalloc
+func Box(r *Ring, v int) {
+	sink(v) // want `argument boxes int into interface parameter`
+	sink(r)
+	sink(nil)
+}
+
+// BoxVariadic boxes per element but forwarding a slice is free.
+//
+//amoeba:noalloc
+func BoxVariadic(v int, args []interface{}) {
+	sinks(v) // want `argument boxes int into interface parameter`
+	sinks(args...)
+}
+
+// Convert exercises the allocating conversions.
+//
+//amoeba:noalloc
+func Convert(v int, s string, bs []byte) int {
+	_ = interface{}(v)  // want `conversion to interface interface\{\} boxes`
+	_ = string(bs)      // want `string conversion copies`
+	_ = []byte(s)       // want `string conversion copies`
+	_ = string(rune(v)) // want `string\(rune\) conversion allocates`
+	return take(s, v)
+}
+
+// Concat builds strings both ways.
+//
+//amoeba:noalloc
+func Concat(s string) string {
+	t := s + "x" // want `string concatenation allocates`
+	t += "y"     // want `string concatenation allocates`
+	return t
+}
+
+// Format calls into fmt.
+//
+//amoeba:noalloc
+func Format(v int) {
+	fmt.Println(v) // want `call into fmt formats and boxes`
+}
+
+// Invariant allocates only inside a panic argument: the cold abort path
+// is exempt.
+//
+//amoeba:noalloc
+func Invariant(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+}
+
+// Allowed uses the generic analyzer suppression instead of allowalloc.
+//
+//amoeba:noalloc
+func Allowed() *Ring {
+	//amoeba:allow alloccheck one-time pool refill measured cold
+	return &Ring{}
+}
+
+// Setup carries no annotation and may allocate freely.
+func Setup() []int {
+	return append(global, 1)
+}

@@ -1,0 +1,11 @@
+//go:build !amoeba_exclude
+
+package allocuser
+
+// Tagged lives in a build-constrained file; the marker still attaches to
+// the declaration below the constraint.
+//
+//amoeba:noalloc
+func Tagged() *Ring {
+	return &Ring{} // want `&composite literal escapes to the heap`
+}

@@ -1,0 +1,128 @@
+package analysis
+
+// Hot-path contract annotations. Three comment forms mark the static
+// side of the repository's performance contracts (DESIGN.md §11):
+//
+//	//amoeba:noalloc
+//	    on a function's doc comment: the function must not allocate in
+//	    steady state. alloccheck screens its body for allocation-inducing
+//	    constructs; the runtime half of the contract is an AllocsPerRun
+//	    assertion tied back by //amoeba:alloctest markers.
+//
+//	//amoeba:allowalloc(reason)
+//	    on (or directly above) a flagged line inside a noalloc function:
+//	    the construct is deliberate — almost always amortised backing-array
+//	    growth. The reason is mandatory; amoeba-vet -suppressions audits
+//	    the inventory and fails on an empty one.
+//
+//	//amoeba:hotpath
+//	    on a function's doc comment: the function runs inside simulator
+//	    callbacks even though it has no allocation assertion. hotpath
+//	    roots its call-graph walk here (in addition to noalloc functions
+//	    and literal callback arguments).
+//
+//	//amoeba:enum
+//	    on a type declaration: the type is a closed enumeration — every
+//	    switch over it must name all members (exhaustive). On a constant
+//	    type the members are the package-level constants of that exact
+//	    type; on an interface they are the implementing named types of
+//	    the defining package.
+//
+//	//amoeba:alloctest pkg.Recv.Name pkg.Name ...
+//	    on a test function holding an AllocsPerRun assertion: the
+//	    space-separated qualified names of the //amoeba:noalloc functions
+//	    the assertion exercises (package base name, receiver type without
+//	    the star, function name). TestAllocAnnotationCoverage keeps the
+//	    union of these markers and the annotation set equal in both
+//	    directions, so neither side can drift.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Function-level annotation markers.
+const (
+	AnnotNoAlloc   = "//amoeba:noalloc"
+	AnnotHotpath   = "//amoeba:hotpath"
+	AnnotEnum      = "//amoeba:enum"
+	AnnotAllocTest = "//amoeba:alloctest"
+)
+
+// ParseAllowAlloc parses an //amoeba:allowalloc(reason) comment. ok
+// reports that the annotation is present; reason is empty when the
+// parentheses are missing or hold only whitespace (the -suppressions
+// audit treats that as an error).
+func ParseAllowAlloc(text string) (reason string, ok bool) {
+	body, found := strings.CutPrefix(text, "//amoeba:allowalloc")
+	if !found {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "(") || !strings.HasSuffix(body, ")") {
+		return "", true
+	}
+	return strings.TrimSpace(body[1 : len(body)-1]), true
+}
+
+// commentMarks reports whether any line of the comment group is exactly
+// the marker (trailing text after the marker is tolerated so a
+// justification can follow on the same line).
+func commentMarks(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether the function declaration carries the marker
+// in its doc group, or in any free-standing comment group of the file
+// that ends on the line directly above the declaration (the form that
+// survives between a //go:build constraint block and the func line).
+func FuncMarked(fset *token.FileSet, file *ast.File, decl *ast.FuncDecl, marker string) bool {
+	if commentMarks(decl.Doc, marker) {
+		return true
+	}
+	declLine := fset.Position(decl.Pos()).Line
+	for _, cg := range file.Comments {
+		if !commentMarks(cg, marker) {
+			continue
+		}
+		end := fset.Position(cg.End()).Line
+		if end == declLine-1 || end == declLine {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeMarked reports whether the type declaration carries the marker,
+// either on the TypeSpec's own doc or on the enclosing GenDecl's doc
+// (`//amoeba:enum` above a single-spec `type Foo int` attaches to the
+// GenDecl).
+func TypeMarked(gen *ast.GenDecl, spec *ast.TypeSpec, marker string) bool {
+	return commentMarks(spec.Doc, marker) || commentMarks(spec.Comment, marker) ||
+		(gen != nil && len(gen.Specs) == 1 && commentMarks(gen.Doc, marker))
+}
+
+// MarkedFuncs returns the file's function declarations carrying the
+// marker annotation.
+func MarkedFuncs(fset *token.FileSet, file *ast.File, marker string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if FuncMarked(fset, file, fd, marker) {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

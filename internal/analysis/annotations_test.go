@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "annot.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func namedFunc(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+func TestFuncMarkedPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		fn   string
+		want bool
+	}{
+		{"doc last line", "package p\n\n// F does things.\n//\n//amoeba:noalloc\nfunc F() {}\n", "F", true},
+		{"doc only line", "package p\n\n//amoeba:noalloc\nfunc F() {}\n", "F", true},
+		{"doc middle line", "package p\n\n// F does things.\n//amoeba:noalloc\n// More prose.\nfunc F() {}\n", "F", true},
+		{"marker with trailing note", "package p\n\n//amoeba:noalloc hot ticker body\nfunc F() {}\n", "F", true},
+		{"trailing comment on decl line", "package p\n\nfunc F() {} //amoeba:noalloc\n", "F", true},
+		{"blank line detaches", "package p\n\n//amoeba:noalloc\n\nfunc F() {}\n", "F", false},
+		{"unmarked", "package p\n\n// F does things.\nfunc F() {}\n", "F", false},
+		{"marker on previous decl only", "package p\n\n//amoeba:noalloc\nfunc F() {}\n\nfunc G() {}\n", "G", false},
+		{"prefix must be exact", "package p\n\n//amoeba:noallocs\nfunc F() {}\n", "F", false},
+		{"method receiver", "package p\n\ntype T struct{}\n\n// Push is hot.\n//\n//amoeba:noalloc\nfunc (t *T) Push() {}\n", "Push", true},
+		{"build-tag file", "//go:build linux\n\npackage p\n\n// F is hot.\n//\n//amoeba:noalloc\nfunc F() {}\n", "F", true},
+		{"directive group above build-tagged func", "package p\n\n//amoeba:noalloc\n//go:nosplit\nfunc F() {}\n", "F", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, f := parseSrc(t, tc.src)
+			fd := namedFunc(t, f, tc.fn)
+			if got := FuncMarked(fset, f, fd, AnnotNoAlloc); got != tc.want {
+				t.Errorf("FuncMarked = %v, want %v\nsrc:\n%s", got, tc.want, tc.src)
+			}
+		})
+	}
+}
+
+func TestMarkedFuncs(t *testing.T) {
+	src := "package p\n\n//amoeba:noalloc\nfunc A() {}\n\nfunc B() {}\n\n//amoeba:hotpath\nfunc C() {}\n\n//amoeba:noalloc\nfunc D() {}\n"
+	fset, f := parseSrc(t, src)
+	got := MarkedFuncs(fset, f, AnnotNoAlloc)
+	if len(got) != 2 || got[0].Name.Name != "A" || got[1].Name.Name != "D" {
+		names := make([]string, len(got))
+		for i, fd := range got {
+			names[i] = fd.Name.Name
+		}
+		t.Errorf("MarkedFuncs(noalloc) = %v, want [A D]", names)
+	}
+	if hp := MarkedFuncs(fset, f, AnnotHotpath); len(hp) != 1 || hp[0].Name.Name != "C" {
+		t.Errorf("MarkedFuncs(hotpath) wrong: %d found", len(hp))
+	}
+}
+
+func TestTypeMarked(t *testing.T) {
+	src := `package p
+
+//amoeba:enum
+type Kind string
+
+type Mode int //amoeba:enum
+
+// Verdict classifies decisions.
+//
+//amoeba:enum
+type Verdict string
+
+type Plain int
+
+type (
+	//amoeba:enum
+	Inner int
+	Other int
+)
+`
+	fset, f := parseSrc(t, src)
+	_ = fset
+	want := map[string]bool{"Kind": true, "Mode": true, "Verdict": true, "Plain": false, "Inner": true, "Other": false}
+	for _, d := range f.Decls {
+		gen, ok := d.(*ast.GenDecl)
+		if !ok || gen.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gen.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if got := TypeMarked(gen, ts, AnnotEnum); got != want[ts.Name.Name] {
+				t.Errorf("TypeMarked(%s) = %v, want %v", ts.Name.Name, got, want[ts.Name.Name])
+			}
+		}
+	}
+}
+
+func TestParseAllowAlloc(t *testing.T) {
+	cases := []struct {
+		text   string
+		reason string
+		ok     bool
+	}{
+		{"//amoeba:allowalloc(amortised growth)", "amortised growth", true},
+		{"//amoeba:allowalloc( padded reason )", "padded reason", true},
+		{"//amoeba:allowalloc()", "", true},
+		{"//amoeba:allowalloc", "", true},
+		{"//amoeba:allowalloc missing parens", "", true},
+		{"//amoeba:allowalloc(nested (parens) kept)", "nested (parens) kept", true},
+		{"//amoeba:allow alloccheck reason", "", false},
+		{"// amoeba:allowalloc(spaced marker)", "", false},
+		{"//amoeba:noalloc", "", false},
+	}
+	for _, tc := range cases {
+		reason, ok := ParseAllowAlloc(tc.text)
+		if reason != tc.reason || ok != tc.ok {
+			t.Errorf("ParseAllowAlloc(%q) = (%q, %v), want (%q, %v)", tc.text, reason, ok, tc.reason, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package exhaustive enforces switch exhaustiveness over the repo's
+// closed enumerations. A type annotated //amoeba:enum declares that its
+// member set is closed:
+//
+//   - on a constant-backed type (obs.Kind, metrics.Backend,
+//     controller.Verdict) the members are the package-level constants of
+//     that exact type declared in the defining package;
+//   - on an interface (obs.Event) the members are the concrete named
+//     types of the defining package that implement it.
+//
+// Every switch whose tag has an annotated type, and every type switch
+// over an annotated interface, must name all members in its case
+// clauses. A default clause is permitted — out-of-range values from
+// decoding external input still need a home — but it does not satisfy
+// coverage: the point is that adding a seventh event kind breaks the
+// build at every decode and fold site instead of sliding into a silent
+// default drop.
+//
+// The annotation is read from the defining package's syntax (via the
+// pass dependency loader), so switches in importing packages are held to
+// the same contract as switches next to the declaration.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer flags switches over //amoeba:enum types that do not name
+// every member of the enumeration.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over //amoeba:enum types must name every member " +
+		"(constants of the type, or implementing types for an interface enum); " +
+		"default clauses handle out-of-range values but do not satisfy coverage",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, marked: make(map[*types.TypeName]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				c.valueSwitch(n)
+			case *ast.TypeSwitchStmt:
+				c.typeSwitch(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	marked map[*types.TypeName]bool // enum annotation, memoized per type name
+}
+
+// enumMarked reports whether the named type's declaration carries
+// //amoeba:enum, consulting the defining package's syntax.
+func (c *checker) enumMarked(named *types.Named) bool {
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return false
+	}
+	if v, ok := c.marked[tn]; ok {
+		return v
+	}
+	files := c.definingFiles(tn.Pkg())
+	v := false
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != tn.Name() {
+					continue
+				}
+				v = analysis.TypeMarked(gen, ts, analysis.AnnotEnum)
+			}
+		}
+	}
+	c.marked[tn] = v
+	return v
+}
+
+// definingFiles returns the syntax of the package that declares an enum
+// candidate: the current pass's files, or a loaded dependency's.
+func (c *checker) definingFiles(pkg *types.Package) []*ast.File {
+	if pkg == c.pass.Pkg {
+		return c.pass.Files
+	}
+	if c.pass.Deps == nil {
+		return nil
+	}
+	if dep, ok := c.pass.Deps(pkg.Path()); ok {
+		return dep.Files
+	}
+	return nil
+}
+
+// valueSwitch checks a tagged switch over a constant-backed enum.
+func (c *checker) valueSwitch(sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagType := c.pass.TypesInfo.Types[sw.Tag].Type
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok || types.IsInterface(named.Underlying()) || !c.enumMarked(named) {
+		return
+	}
+	members := constMembers(named)
+	if len(members) == 0 {
+		return
+	}
+	covered := make(map[types.Object]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		for _, e := range cc.List {
+			if obj := constObj(c.pass.TypesInfo, e); obj != nil {
+				covered[obj] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		c.pass.Reportf(sw.Pos(), "switch over //amoeba:enum type %s misses %s",
+			typeName(named), joinMissing(missing))
+	}
+}
+
+// typeSwitch checks a type switch over an interface enum.
+func (c *checker) typeSwitch(sw *ast.TypeSwitchStmt) {
+	subject := typeSwitchSubject(sw)
+	if subject == nil {
+		return
+	}
+	subjType := c.pass.TypesInfo.Types[subject].Type
+	if subjType == nil {
+		return
+	}
+	named, ok := types.Unalias(subjType).(*types.Named)
+	if !ok || !types.IsInterface(named.Underlying()) || !c.enumMarked(named) {
+		return
+	}
+	iface := named.Underlying().(*types.Interface)
+	members := implementingTypes(named.Obj().Pkg(), iface)
+	if len(members) == 0 {
+		return
+	}
+	covered := make(map[*types.TypeName]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		for _, e := range cc.List {
+			t := c.pass.TypesInfo.Types[e].Type
+			if t == nil {
+				continue
+			}
+			if p, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := types.Unalias(t).(*types.Named); ok {
+				covered[n.Obj()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		c.pass.Reportf(sw.Pos(), "type switch over //amoeba:enum interface %s misses %s",
+			typeName(named), joinMissing(missing))
+	}
+}
+
+// typeSwitchSubject extracts x from `switch x.(type)` or
+// `switch y := x.(type)`.
+func typeSwitchSubject(sw *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	ta, ok := e.(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}
+
+// constMembers returns the package-level constants of exactly the named
+// type, declared in its defining package, in declaration-name order.
+func constMembers(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if cst, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(cst.Type(), named) {
+			out = append(out, cst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// implementingTypes returns the concrete named types of the defining
+// package that implement the interface (by value or pointer receiver).
+func implementingTypes(pkg *types.Package, iface *types.Interface) []*types.TypeName {
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var out []*types.TypeName
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named.Underlying()) {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			out = append(out, tn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// constObj resolves a case expression to the constant object it names,
+// through plain identifiers and package-qualified selectors.
+func constObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if cst, ok := info.Uses[e].(*types.Const); ok {
+			return cst
+		}
+	case *ast.SelectorExpr:
+		if cst, ok := info.Uses[e.Sel].(*types.Const); ok {
+			return cst
+		}
+	case *ast.ParenExpr:
+		return constObj(info, e.X)
+	}
+	return nil
+}
+
+func typeName(named *types.Named) string {
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return fmt.Sprintf("%s.%s", tn.Pkg().Name(), tn.Name())
+}
+
+func joinMissing(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
+	return strings.Join(names, ", ")
+}

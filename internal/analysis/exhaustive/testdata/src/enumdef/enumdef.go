@@ -1,0 +1,113 @@
+// Package enumdef declares closed enums and switches over them in the
+// defining package.
+package enumdef
+
+// Kind is a closed event kind.
+//
+//amoeba:enum
+type Kind string
+
+// The members of Kind.
+const (
+	KindA Kind = "a"
+	KindB Kind = "b"
+	KindC Kind = "c"
+)
+
+// Other is unannotated: switches over it stay free-form.
+type Other int
+
+// The members of Other.
+const (
+	O1 Other = iota
+	O2
+)
+
+// Event is a closed interface enum; its members are the implementing
+// types of this package.
+//
+//amoeba:enum
+type Event interface{ kind() Kind }
+
+// Alpha implements Event by value.
+type Alpha struct{}
+
+func (Alpha) kind() Kind { return KindA }
+
+// Beta implements Event by pointer.
+type Beta struct{}
+
+func (*Beta) kind() Kind { return KindB }
+
+// Full covers every member, including via a multi-value clause.
+func Full(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB, KindC:
+		return 2
+	}
+	return 0
+}
+
+// Missing drops KindC into the default.
+func Missing(k Kind) int {
+	switch k { // want `switch over //amoeba:enum type enumdef\.Kind misses KindC`
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Untagged boolean switches are out of scope.
+func Untagged(k Kind) int {
+	switch {
+	case k == KindA:
+		return 1
+	}
+	return 0
+}
+
+// FreeForm switches over the unannotated type without findings.
+func FreeForm(o Other) int {
+	switch o {
+	case O1:
+		return 1
+	}
+	return 0
+}
+
+// FullType covers both implementers; nil needs no clause.
+func FullType(e Event) Kind {
+	switch e := e.(type) {
+	case Alpha:
+		return e.kind()
+	case *Beta:
+		return e.kind()
+	case nil:
+		return KindA
+	}
+	return KindA
+}
+
+// MissingType misses Beta.
+func MissingType(e Event) int {
+	switch e.(type) { // want `type switch over //amoeba:enum interface enumdef\.Event misses Beta`
+	case Alpha:
+		return 1
+	}
+	return 0
+}
+
+// Allowed documents a deliberately partial fold.
+func Allowed(k Kind) int {
+	//amoeba:allow exhaustive this fold only consumes KindA
+	switch k {
+	case KindA:
+		return 1
+	}
+	return 0
+}

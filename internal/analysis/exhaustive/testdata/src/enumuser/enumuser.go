@@ -1,0 +1,32 @@
+// Package enumuser switches over enums imported from enumdef; the
+// //amoeba:enum annotation is read from the dependency's syntax.
+package enumuser
+
+import "enumdef"
+
+// Fold covers all three kinds.
+func Fold(k enumdef.Kind) int {
+	switch k {
+	case enumdef.KindA, enumdef.KindB, enumdef.KindC:
+		return 1
+	}
+	return 0
+}
+
+// Partial misses two members across the package boundary.
+func Partial(k enumdef.Kind) int {
+	switch k { // want `switch over //amoeba:enum type enumdef\.Kind misses KindB, KindC`
+	case enumdef.KindA:
+		return 1
+	}
+	return 0
+}
+
+// PartialType misses Alpha via the dependency-loaded annotation.
+func PartialType(e enumdef.Event) int {
+	switch e.(type) { // want `type switch over //amoeba:enum interface enumdef\.Event misses Alpha`
+	case *enumdef.Beta:
+		return 1
+	}
+	return 0
+}

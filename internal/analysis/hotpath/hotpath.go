@@ -1,0 +1,371 @@
+// Package hotpath extends the determinism analyzers from syntactic
+// checks to reachability: a call-graph walk rooted at the kernel entry
+// points flags any statically resolvable path to an API that must never
+// run inside simulated time.
+//
+// Roots, per analyzed package:
+//
+//   - functions annotated //amoeba:noalloc or //amoeba:hotpath;
+//   - callback arguments handed to the simulator's scheduling methods
+//     ((*sim.Simulator).At / After / Every): function literals are
+//     walked in place, named functions and methods are walked behind
+//     the argument position.
+//
+// Forbidden APIs (each with the invariant it would break):
+//
+//   - time.Now/Since/Until/Sleep/After/Tick/NewTimer/NewTicker/AfterFunc
+//     — wall clock and wall-clock timers do not exist in simulated time;
+//   - package-level math/rand and math/rand/v2 functions — the global
+//     source is shared mutable state and breaks seeded determinism
+//     (methods on a locally seeded generator are fine);
+//   - sync.Mutex.Lock, sync.RWMutex.Lock/RLock — the kernel is
+//     single-threaded by design; blocking inside a callback stalls the
+//     event loop;
+//   - file and network I/O (os open/read/write/stat family and os.File
+//     methods, net dialers and listeners, fmt print family, log) —
+//     unbounded latency and external state inside the hot loop.
+//
+// fmt.Sprintf/Sprint/Sprintln/Errorf are deliberately not forbidden:
+// they are pure formatting (no writer), and the engine legitimately
+// builds labels with Sprintf behind a telemetry-bus guard. alloccheck
+// separately flags them inside //amoeba:noalloc bodies.
+//
+// The walk follows calls it can resolve statically: package-level
+// functions and concrete-receiver methods of the analyzed package and of
+// its module-local dependencies (whose syntax the vet driver has already
+// loaded). Interface dispatch, func-valued variables, and calls into
+// packages without loaded syntax (the standard library) are not
+// followed — the forbidden table screens the stdlib surface directly,
+// and dynamic dispatch is the documented blind spot that the runtime
+// AllocsPerRun and golden-determinism tests backstop. Transitive
+// findings are reported at the call edge in the analyzed package with
+// the full chain in the message, so an //amoeba:allow hotpath
+// suppression sits next to code the package owns.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer flags forbidden-API calls reachable from kernel entry points.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "code reachable from //amoeba:noalloc///amoeba:hotpath functions and simulator " +
+		"callbacks must not touch wall clocks, global math/rand, mutexes, or file/network I/O",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{
+		pass:  pass,
+		memo:  make(map[*types.Func][]reach),
+		decls: make(map[*types.Package]map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range pass.Files {
+		for _, fd := range analysis.MarkedFuncs(pass.Fset, f, analysis.AnnotNoAlloc) {
+			w.reportRoot(fd.Body, rootName(fd))
+		}
+		for _, fd := range analysis.MarkedFuncs(pass.Fset, f, analysis.AnnotHotpath) {
+			w.reportRoot(fd.Body, rootName(fd))
+		}
+		w.callbackRoots(f)
+	}
+	return nil
+}
+
+// reach is one forbidden API reachable from a function: the API, the
+// invariant it breaks, and the call chain that gets there.
+type reach struct {
+	api   string
+	why   string
+	chain []string
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	memo  map[*types.Func][]reach
+	busy  []*types.Func // in-progress stack for cycle cut-off
+	decls map[*types.Package]map[*types.Func]*ast.FuncDecl
+}
+
+// callbackRoots treats the function arguments of simulator scheduling
+// calls as hot-path roots.
+func (w *walker) callbackRoots(f *ast.File) {
+	info := w.pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkg, recv, name := analysis.Method(info, call)
+		if recv != "Simulator" || !simPackage(pkg) {
+			return true
+		}
+		if name != "At" && name != "After" && name != "Every" {
+			return true
+		}
+		arg := call.Args[len(call.Args)-1]
+		switch arg := arg.(type) {
+		case *ast.FuncLit:
+			w.reportRoot(arg.Body, "sim."+name+" callback")
+		default:
+			if fn := w.funcObj(arg); fn != nil {
+				for _, r := range w.analyze(fn) {
+					w.pass.Reportf(arg.Pos(), "sim.%s callback %s reaches %s (%s) via %s",
+						name, funcName(w.pass.Pkg, fn), r.api, r.why, strings.Join(r.chain, " -> "))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportRoot walks one root body in the analyzed package, reporting
+// direct forbidden calls and transitive reaches at their call edges.
+func (w *walker) reportRoot(body *ast.BlockStmt, root string) {
+	if body == nil {
+		return
+	}
+	info := w.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if api, why, ok := forbiddenAPI(info, call); ok {
+			w.pass.Reportf(call.Pos(), "hot path %s calls %s (%s)", root, api, why)
+			return true
+		}
+		if fn := w.funcObj(call.Fun); fn != nil {
+			for _, r := range w.analyze(fn) {
+				w.pass.Reportf(call.Pos(), "hot path %s reaches %s (%s) via %s",
+					root, r.api, r.why, strings.Join(r.chain, " -> "))
+			}
+		}
+		return true
+	})
+}
+
+// analyze computes the forbidden APIs reachable from fn, one reach per
+// distinct API, memoized across the package walk.
+func (w *walker) analyze(fn *types.Func) []reach {
+	if rs, ok := w.memo[fn]; ok {
+		return rs
+	}
+	for _, b := range w.busy {
+		if b == fn {
+			return nil // cycle: the first visit owns the result
+		}
+	}
+	decl, pkg := w.declOf(fn)
+	if decl == nil || decl.Body == nil {
+		w.memo[fn] = nil
+		return nil
+	}
+	w.busy = append(w.busy, fn)
+	defer func() { w.busy = w.busy[:len(w.busy)-1] }()
+
+	info := w.infoOf(pkg)
+	self := funcName(w.pass.Pkg, fn)
+	var out []reach
+	seen := make(map[string]bool)
+	add := func(r reach) {
+		if !seen[r.api] {
+			seen[r.api] = true
+			out = append(out, r)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if api, why, ok := forbiddenAPI(info, call); ok {
+			add(reach{api: api, why: why, chain: []string{self}})
+			return true
+		}
+		if callee := funcObjIn(info, call.Fun); callee != nil {
+			for _, r := range w.analyze(callee) {
+				add(reach{api: r.api, why: r.why, chain: append([]string{self}, r.chain...)})
+			}
+		}
+		return true
+	})
+	w.memo[fn] = out
+	return out
+}
+
+// funcObj resolves an expression in the analyzed package to a
+// statically known function or concrete method.
+func (w *walker) funcObj(e ast.Expr) *types.Func {
+	return funcObjIn(w.pass.TypesInfo, e)
+}
+
+func funcObjIn(info *types.Info, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.ParenExpr:
+		return funcObjIn(info, e.X)
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type().Underlying()) {
+			return nil // dynamic dispatch: documented blind spot
+		}
+	}
+	return fn
+}
+
+// declOf finds the syntax of a function in the analyzed package or in a
+// loaded module-local dependency, indexed once per package.
+func (w *walker) declOf(fn *types.Func) (*ast.FuncDecl, *types.Package) {
+	pkg := fn.Pkg()
+	if idx, ok := w.decls[pkg]; ok {
+		return idx[fn], pkg
+	}
+	var files []*ast.File
+	var info *types.Info
+	switch {
+	case pkg == w.pass.Pkg:
+		files, info = w.pass.Files, w.pass.TypesInfo
+	case w.pass.Deps != nil:
+		if dep, ok := w.pass.Deps(pkg.Path()); ok {
+			files, info = dep.Files, dep.Info
+		}
+	}
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	if info != nil {
+		for _, f := range files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+						idx[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	w.decls[pkg] = idx
+	return idx[fn], pkg
+}
+
+// infoOf returns the type info covering a package's syntax.
+func (w *walker) infoOf(pkg *types.Package) *types.Info {
+	if pkg == w.pass.Pkg {
+		return w.pass.TypesInfo
+	}
+	if w.pass.Deps != nil {
+		if dep, ok := w.pass.Deps(pkg.Path()); ok {
+			return dep.Info
+		}
+	}
+	return nil
+}
+
+// forbiddenAPI classifies a call against the forbidden-API table.
+func forbiddenAPI(info *types.Info, call *ast.CallExpr) (api, why string, ok bool) {
+	if info == nil {
+		return "", "", false
+	}
+	if pkg, name := analysis.PkgFunc(info, call); pkg != "" {
+		switch pkg {
+		case "time":
+			switch name {
+			case "Now", "Since", "Until", "Sleep", "After", "Tick",
+				"NewTimer", "NewTicker", "AfterFunc":
+				return "time." + name, "wall clock in simulated time", true
+			}
+		case "math/rand", "math/rand/v2":
+			return pkg + "." + name, "global rand source breaks seeded determinism", true
+		case "os":
+			switch name {
+			case "Open", "OpenFile", "Create", "ReadFile", "WriteFile",
+				"Remove", "RemoveAll", "Mkdir", "MkdirAll", "Stat", "ReadDir":
+				return "os." + name, "file I/O in the event loop", true
+			}
+		case "net":
+			switch name {
+			case "Dial", "DialTimeout", "DialUDP", "DialTCP", "Listen", "ListenPacket":
+				return "net." + name, "network I/O in the event loop", true
+			}
+		case "fmt":
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name, "writer I/O in the event loop", true
+			}
+		case "log":
+			return "log." + name, "logging I/O in the event loop", true
+		}
+		return "", "", false
+	}
+	if pkg, recv, name := analysis.Method(info, call); pkg != "" {
+		switch {
+		case pkg == "sync" && recv == "Mutex" && name == "Lock":
+			return "sync.Mutex.Lock", "blocking in the single-threaded kernel", true
+		case pkg == "sync" && recv == "RWMutex" && (name == "Lock" || name == "RLock"):
+			return "sync.RWMutex." + name, "blocking in the single-threaded kernel", true
+		case pkg == "os" && recv == "File" &&
+			(name == "Read" || name == "Write" || name == "Seek" || name == "Sync" || name == "Close"):
+			return "os.File." + name, "file I/O in the event loop", true
+		case pkg == "log" && recv == "Logger":
+			return "log.Logger." + name, "logging I/O in the event loop", true
+		}
+	}
+	return "", "", false
+}
+
+// simPackage matches the simulator package by module-relative suffix so
+// testdata stubs qualify alongside the real amoeba/internal/sim.
+func simPackage(pkgPath string) bool {
+	return pkgPath == "internal/sim" || strings.HasSuffix(pkgPath, "/internal/sim")
+}
+
+func rootName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+			continue
+		}
+		break
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// funcName qualifies a function with its package name when it lives
+// outside the analyzed package.
+func funcName(cur *types.Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := types.Unalias(rt).(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != cur {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotuser")
+}

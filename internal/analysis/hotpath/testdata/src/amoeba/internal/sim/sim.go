@@ -1,0 +1,19 @@
+// Package sim is a stub of the real amoeba/internal/sim for hotpath
+// tests: the analyzer matches the Simulator scheduling methods by
+// package-path suffix and roots its walk at their callback arguments.
+package sim
+
+// Time is simulated seconds.
+type Time float64
+
+// Simulator is the scheduling stub.
+type Simulator struct{ now Time }
+
+// At schedules fn at an absolute simulated time.
+func (s *Simulator) At(at Time, fn func()) {}
+
+// After schedules fn after a simulated delay.
+func (s *Simulator) After(delay float64, fn func()) {}
+
+// Every schedules fn on a simulated period.
+func (s *Simulator) Every(period float64, fn func()) (stop func()) { return func() {} }

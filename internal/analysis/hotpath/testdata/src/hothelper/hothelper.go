@@ -1,0 +1,20 @@
+// Package hothelper provides callees that hotpath's walk reaches across
+// the package boundary through the dependency loader.
+package hothelper
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// ReadConfig does file I/O.
+func ReadConfig() []byte {
+	b, _ := os.ReadFile("cfg")
+	return b
+}
+
+// Pure is reachable but touches nothing forbidden.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,110 @@
+// Package hotuser exercises hotpath: forbidden APIs reachable from
+// annotated functions and simulator callbacks are flagged at the call
+// edge; pure formatting, seeded generators, and dynamic dispatch are
+// not.
+package hotuser
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"amoeba/internal/sim"
+	"hothelper"
+)
+
+var mu sync.Mutex
+
+// Fire reads the wall clock directly.
+//
+//amoeba:noalloc
+func Fire() {
+	_ = time.Now() // want `hot path Fire calls time\.Now \(wall clock in simulated time\)`
+}
+
+// Tick draws from the global rand source.
+//
+//amoeba:hotpath
+func Tick() {
+	_ = rand.Int() // want `hot path Tick calls math/rand\.Int \(global rand source breaks seeded determinism\)`
+}
+
+// Locked blocks on a mutex.
+//
+//amoeba:hotpath
+func Locked() {
+	mu.Lock() // want `hot path Locked calls sync\.Mutex\.Lock \(blocking in the single-threaded kernel\)`
+	mu.Unlock()
+}
+
+// Transitive reaches the wall clock through a local helper.
+//
+//amoeba:hotpath
+func Transitive() int64 {
+	return stamp() // want `hot path Transitive reaches time\.Now \(wall clock in simulated time\) via stamp`
+}
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+// CrossPackage reaches file I/O through an imported package.
+//
+//amoeba:hotpath
+func CrossPackage() []byte {
+	return hothelper.ReadConfig() // want `hot path CrossPackage reaches os\.ReadFile \(file I/O in the event loop\) via hothelper\.ReadConfig`
+}
+
+// Formats may build strings but not write them.
+//
+//amoeba:hotpath
+func Formats(v int) string {
+	fmt.Println(v) // want `hot path Formats calls fmt\.Println \(writer I/O in the event loop\)`
+	return fmt.Sprintf("%d", v)
+}
+
+// Schedule roots the callbacks it hands to the simulator.
+func Schedule(s *sim.Simulator) {
+	s.After(1, func() {
+		time.Sleep(time.Millisecond) // want `hot path sim\.After callback calls time\.Sleep`
+	})
+	s.At(2, cleanCallback)
+	s.Every(3, dirtyCallback) // want `sim\.Every callback dirtyCallback reaches time\.Now \(wall clock in simulated time\) via dirtyCallback`
+}
+
+func cleanCallback() { _ = hothelper.Pure(1) }
+
+func dirtyCallback() { _ = time.Now() }
+
+// ticker carries a method used as a callback value.
+type ticker struct{}
+
+func (t *ticker) fire() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// ScheduleMethod roots a bound method callback.
+func ScheduleMethod(s *sim.Simulator, t *ticker) {
+	s.At(1, t.fire) // want `sim\.At callback ticker\.fire reaches sync\.Mutex\.Lock \(blocking in the single-threaded kernel\) via ticker\.fire`
+}
+
+// doer models dynamic dispatch, the documented blind spot.
+type doer interface{ Do() }
+
+// Dynamic cannot be followed through the interface.
+//
+//amoeba:hotpath
+func Dynamic(d doer) {
+	d.Do()
+}
+
+// Allowed documents a deliberate wall-clock read.
+//
+//amoeba:hotpath
+func Allowed() int64 {
+	//amoeba:allow hotpath coarse profiling timestamp outside sim time
+	return time.Now().UnixNano()
+}
+
+// Unmarked is not a root; nothing is reported.
+func Unmarked() { _ = time.Now() }

@@ -121,3 +121,27 @@ func TestNilCallbackPanics(t *testing.T) {
 	}()
 	New(s, trace.Constant{QPS: 1}, nil)
 }
+
+// TestZeroAllocFire asserts the steady-state thinning loop — accept
+// test, arrival callback, self-reschedule through the one bound fire
+// method — allocates nothing once the kernel's slab is warm.
+//
+//amoeba:alloctest arrival.Generator.fire
+func TestZeroAllocFire(t *testing.T) {
+	s := sim.New(6)
+	g := New(s, trace.Constant{QPS: 200}, func(sim.Time) {})
+	g.Start()
+	s.Run(50) // warm: slab, free list and heap at steady-state capacity
+
+	horizon := s.Now()
+	allocs := testing.AllocsPerRun(100, func() {
+		horizon += 5
+		s.Run(horizon)
+	})
+	if allocs != 0 {
+		t.Errorf("arrival candidates allocate %.3f objects per 5s batch, want 0", allocs)
+	}
+	if g.Count() == 0 {
+		t.Fatal("generator produced no arrivals")
+	}
+}

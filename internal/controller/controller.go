@@ -201,23 +201,40 @@ type Decision struct {
 	// Blocked is set when a switch-in was indicated by load but vetoed by
 	// the co-tenant safety check.
 	Blocked bool
-	// Verdict names the outcome ("switch-in", "switch-out", "stay-iaas",
-	// "stay-serverless", "blocked") and Reason spells out the comparison
+	// Verdict names the outcome and Reason spells out the comparison
 	// that produced it — the decision-audit trail's payload.
-	Verdict string
+	Verdict Verdict
 	Reason  string
 }
+
+// Verdict classifies the outcome of one decision period. The set is
+// closed: every fold over verdicts must handle all six members.
+//
+//amoeba:enum
+type Verdict string
 
 // Verdict values. The engine substitutes VerdictDwellHold when an
 // indicated switch is suppressed by the minimum-dwell hysteresis.
 const (
-	VerdictSwitchIn       = "switch-in"
-	VerdictSwitchOut      = "switch-out"
-	VerdictStayIaaS       = "stay-iaas"
-	VerdictStayServerless = "stay-serverless"
-	VerdictBlocked        = "blocked"
-	VerdictDwellHold      = "dwell-hold"
+	VerdictSwitchIn       Verdict = "switch-in"
+	VerdictSwitchOut      Verdict = "switch-out"
+	VerdictStayIaaS       Verdict = "stay-iaas"
+	VerdictStayServerless Verdict = "stay-serverless"
+	VerdictBlocked        Verdict = "blocked"
+	VerdictDwellHold      Verdict = "dwell-hold"
 )
+
+// Valid reports whether v is one of the six declared verdicts; decoders
+// of externally supplied event streams use it to reject unknown values.
+func (v Verdict) Valid() bool {
+	switch v {
+	case VerdictSwitchIn, VerdictSwitchOut, VerdictStayIaaS,
+		VerdictStayServerless, VerdictBlocked, VerdictDwellHold:
+		return true
+	default:
+		return false
+	}
+}
 
 // Controller drives the decision loop for one service. It is fed load
 // observations and pressure/weight estimates by the runtime and emits
@@ -271,7 +288,9 @@ func (c *Controller) SetMode(m metrics.Backend) { c.mode = m }
 // platform pressure if this service's serverless demand were added — the
 // runtime computes it from the service's demand vector and the monitor's
 // estimate; the controller vetoes switch-ins that would push any
-// dimension past the safety bound.
+// dimension past the safety bound. Decide panics if the tracked mode is
+// outside the Backend enum — a decision from corrupted state must not
+// reach the engine.
 func (c *Controller) Decide(now units.Seconds, w monitor.Weights, pressure [3]float64,
 	postSwitchPressure [3]float64) Decision {
 
@@ -319,6 +338,8 @@ func (c *Controller) Decide(now units.Seconds, w monitor.Weights, pressure [3]fl
 			d.Reason = fmt.Sprintf("load %.2f within switch-out bound %.2f (%.0f%% of admissible %.2f)",
 				c.loadEWMA.Raw(), bound.Raw(), c.cfg.SwitchOutMargin*100, adm.Raw())
 		}
+	default:
+		panic(fmt.Sprintf("controller: invalid mode %v", c.mode))
 	}
 	c.decisions = append(c.decisions, d)
 	return d

@@ -154,8 +154,9 @@ func TestSwitchTimelineFromEvents(t *testing.T) {
 	for _, sp := range spans {
 		found := false
 		for _, d := range decisions {
+			v := controller.Verdict(d.Verdict)
 			if d.At == sp.Start &&
-				(d.Verdict == controller.VerdictSwitchIn || d.Verdict == controller.VerdictSwitchOut) &&
+				(v == controller.VerdictSwitchIn || v == controller.VerdictSwitchOut) &&
 				d.Target == sp.To {
 				found = true
 				break

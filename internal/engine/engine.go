@@ -202,7 +202,9 @@ func (e *Engine) Start() {
 	e.sim.Every(e.cfg.SamplePeriod.Raw(), e.tick)
 }
 
-// HandleQuery routes one arriving query.
+// HandleQuery routes one arriving query. It panics if the routing mode
+// is outside the Backend enum — a query silently dropped by a corrupted
+// mode would skew every latency figure downstream.
 func (e *Engine) HandleQuery() {
 	e.arrivals++
 	switch e.mode {
@@ -211,6 +213,8 @@ func (e *Engine) HandleQuery() {
 		e.maybeShadow()
 	case metrics.BackendServerless:
 		e.pool.Invoke(e.prof.Name)
+	default:
+		panic(fmt.Sprintf("engine: invalid routing mode %v", e.mode))
 	}
 }
 
@@ -316,7 +320,7 @@ func (e *Engine) tick() {
 			Intercept:      w.Intercept,
 			WeightsLearned: w.Learned,
 			Blocked:        d.Blocked,
-			Verdict:        verdict,
+			Verdict:        string(verdict),
 			Reason:         reason,
 		})
 	}
@@ -367,7 +371,9 @@ func (e *Engine) currentAlloc() resources.Vector {
 	return alloc
 }
 
-// startSwitch runs the §V-B protocol towards the target backend.
+// startSwitch runs the §V-B protocol towards the target backend. It
+// panics on a target outside the Backend enum: the controller only ever
+// decides between the two real deployments.
 func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 	e.switching = true
 	e.lastSwitch = float64(e.sim.Now())
@@ -425,6 +431,8 @@ func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 			}
 			e.drainServerless(sp)
 		})
+	default:
+		panic(fmt.Sprintf("engine: switch to invalid backend %v", target))
 	}
 }
 

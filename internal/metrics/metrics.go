@@ -12,7 +12,12 @@ import (
 	"amoeba/internal/stats"
 )
 
-// Backend identifies which deployment served a query.
+// Backend identifies which deployment served a query. The set is
+// closed: switches over Backend must name both members (String keeps an
+// explicit out-of-range rendering for values decoded from external
+// input).
+//
+//amoeba:enum
 type Backend int
 
 const (

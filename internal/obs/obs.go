@@ -26,7 +26,12 @@ package obs
 
 import "amoeba/internal/units"
 
-// Kind discriminates event types in the serialized stream.
+// Kind discriminates event types in the serialized stream. The set is
+// closed: every switch over kinds must name all six members, so adding
+// a seventh kind breaks the build at every decode and fold site instead
+// of silently dropping events.
+//
+//amoeba:enum
 type Kind string
 
 // The event taxonomy. Each kind corresponds to exactly one concrete
@@ -51,7 +56,11 @@ const (
 
 // Event is one telemetry record. Concrete events are emitted as
 // pointers; EventTime returns the sim-clock instant the event was
-// emitted at, which is non-decreasing over a run's stream.
+// emitted at, which is non-decreasing over a run's stream. The
+// implementing types form a closed set mirroring the Kind taxonomy;
+// type switches over Event must cover every one of them.
+//
+//amoeba:enum
 type Event interface {
 	EventKind() Kind
 	EventTime() units.Seconds
@@ -88,10 +97,14 @@ func (b *Bus) Attach(s Sink) {
 // Active reports whether emitting would reach any sink. Emission sites
 // must guard with it before constructing an event — that guard is the
 // zero-overhead fast path of the package contract.
+//
+//amoeba:noalloc
 func (b *Bus) Active() bool { return b != nil && len(b.sinks) > 0 }
 
 // Emit stamps the event's Kind field and hands it to every sink in
 // attach order. Emitting on an inactive bus is a no-op.
+//
+//amoeba:noalloc
 func (b *Bus) Emit(ev Event) {
 	if !b.Active() {
 		return
@@ -103,7 +116,12 @@ func (b *Bus) Emit(ev Event) {
 }
 
 // stamp fills the serialized kind discriminator on the concrete struct.
-// Doing it here keeps emission sites free of redundant Kind fields.
+// Doing it here keeps emission sites free of redundant Kind fields. It
+// panics on an event type outside the closed taxonomy — an event that
+// would serialize without a kind is an invariant violation, not a datum
+// to drop silently.
+//
+//amoeba:noalloc
 func stamp(ev Event) {
 	switch e := ev.(type) {
 	case *QueryComplete:
@@ -118,5 +136,7 @@ func stamp(ev Event) {
 		e.Kind = KindHeartbeat
 	case *MeterSample:
 		e.Kind = KindMeterSample
+	default:
+		panic("obs: event type outside the closed taxonomy: " + string(ev.EventKind()))
 	}
 }

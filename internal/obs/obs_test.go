@@ -191,6 +191,7 @@ func TestRingPanicsOnBadCapacity(t *testing.T) {
 	NewRing(0)
 }
 
+//amoeba:alloctest obs.Bus.Active obs.Bus.Emit
 func TestEmitNoSinkZeroAlloc(t *testing.T) {
 	var nilBus *Bus
 	empty := NewBus()
@@ -205,6 +206,34 @@ func TestEmitNoSinkZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("no-sink emission allocates %.1f per event, want 0", allocs)
+	}
+}
+
+// discardSink counts events and drops them — the cheapest possible
+// consumer, isolating the bus's own dispatch cost.
+type discardSink struct{ n int }
+
+func (d *discardSink) Consume(Event) { d.n++ }
+
+// TestEmitActiveZeroAlloc asserts the dispatch itself — kind stamping
+// plus the sink fan-out — allocates nothing once the event exists. The
+// event literal is hoisted: allocating it is the emission site's cost,
+// governed by the Active() guard, not the bus's.
+//
+//amoeba:alloctest obs.Bus.Emit obs.stamp
+func TestEmitActiveZeroAlloc(t *testing.T) {
+	bus := NewBus()
+	sink := &discardSink{}
+	bus.Attach(sink)
+	ev := &QueryComplete{At: 1, Service: "s"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		bus.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("active emission allocates %.1f per event, want 0", allocs)
+	}
+	if sink.n == 0 {
+		t.Fatal("sink saw no events")
 	}
 }
 

@@ -139,7 +139,12 @@ type activation struct {
 }
 
 type function struct {
-	profile    workload.Profile
+	profile workload.Profile
+	// execMu and execSigma are the lognormal parameters of the body's
+	// execution time, precomputed once at Register so the per-activation
+	// hot path draws without re-deriving them.
+	execMu     float64
+	execSigma  float64
 	nMax       int
 	minWarm    int // floor of warm containers kept alive (pool strategy)
 	warming    int // containers currently prewarming toward the floor
@@ -154,17 +159,21 @@ type function struct {
 
 // Platform is the simulated serverless computing platform.
 type Platform struct {
-	sim     *sim.Simulator
-	cfg     Config
-	model   *contention.Model
-	rng     *sim.RNG
-	bus     *obs.Bus
-	fns     map[string]*function
-	queue   []*activation
-	actFree []*activation    // recycled activations (steady state allocates none)
-	demand  resources.Vector // aggregate demand of running bodies
-	memMB   float64          // memory allocated by live containers
-	nextID  int
+	sim   *sim.Simulator
+	cfg   Config
+	model *contention.Model
+	rng   *sim.RNG
+	bus   *obs.Bus
+	fns   map[string]*function
+	// coldMu and coldSigma are the lognormal parameters of the cold-start
+	// delay, precomputed once at New from the validated config.
+	coldMu    float64
+	coldSigma float64
+	queue     []*activation
+	actFree   []*activation    // recycled activations (steady state allocates none)
+	demand    resources.Vector // aggregate demand of running bodies
+	memMB     float64          // memory allocated by live containers
+	nextID    int
 	// counters
 	coldStarts int
 	evictions  int
@@ -177,12 +186,15 @@ func New(s *sim.Simulator, cfg Config) *Platform {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	coldMu, coldSigma := lognormalParams(cfg.ColdStartMean.Raw(), cfg.ColdStartCV)
 	return &Platform{
-		sim:   s,
-		cfg:   cfg,
-		model: contention.NewModel(cfg.Node.Capacity()),
-		rng:   s.RNG().Split(),
-		fns:   make(map[string]*function),
+		sim:       s,
+		cfg:       cfg,
+		model:     contention.NewModel(cfg.Node.Capacity()),
+		rng:       s.RNG().Split(),
+		fns:       make(map[string]*function),
+		coldMu:    coldMu,
+		coldSigma: coldSigma,
 	}
 }
 
@@ -247,8 +259,11 @@ func (p *Platform) Register(profile workload.Profile, onComplete func(metrics.Qu
 		//amoeba:allow panic Config.Validate bounded Delta and ContainerMemMB in New
 		panic(err)
 	}
+	execMu, execSigma := lognormalParams(profile.ExecTime, profile.ExecCV)
 	f := &function{
 		profile:    profile,
+		execMu:     execMu,
+		execSigma:  execSigma,
 		nMax:       nMax,
 		onComplete: onComplete,
 		usage:      resources.NewUsage(float64(p.sim.Now())),
@@ -491,10 +506,10 @@ func (p *Platform) startPrewarmOne(f *function, onWarm func()) bool {
 	return true
 }
 
+//amoeba:noalloc
 func (p *Platform) sampleColdStart() float64 {
-	mu, sigma := lognormalParams(p.cfg.ColdStartMean.Raw(), p.cfg.ColdStartCV)
 	p.coldStarts++
-	return p.rng.LogNormal(mu, sigma)
+	return p.rng.LogNormal(p.coldMu, p.coldSigma)
 }
 
 // execute models the activation's latency anatomy and demand. coldDelay
@@ -522,9 +537,9 @@ func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 	}
 
 	// Function body: solo-run time scaled by the slowdown under the
-	// pressure at dispatch.
-	mu, sigma := lognormalParams(prof.ExecTime, prof.ExecCV)
-	body := p.rng.LogNormal(mu, sigma)
+	// pressure at dispatch; the lognormal parameters were fixed at
+	// Register.
+	body := p.rng.LogNormal(f.execMu, f.execSigma)
 	pressure := p.model.Pressure(p.demand)
 	body *= p.model.Slowdown(pressure, prof.Sensitivity)
 

@@ -389,3 +389,20 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroAllocSampleColdStart asserts the cold-start sampler is pure
+// arithmetic at invocation time: the lognormal (mu, sigma) pair is fixed
+// at New, so each sample is counter bump plus RNG draw.
+//
+//amoeba:alloctest serverless.Platform.sampleColdStart
+func TestZeroAllocSampleColdStart(t *testing.T) {
+	p := New(sim.New(9), DefaultConfig())
+	allocs := testing.AllocsPerRun(1000, func() {
+		if p.sampleColdStart() <= 0 {
+			t.Fatal("non-positive cold-start sample")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sampleColdStart allocates %.2f objects per call, want 0", allocs)
+	}
+}

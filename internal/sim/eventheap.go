@@ -26,13 +26,15 @@ type event struct {
 // alloc takes a slot from the free list (or grows the slab) and
 // initialises it as a queued event. The slot's generation is preserved:
 // it only advances on release.
+//
+//amoeba:noalloc
 func (s *Simulator) alloc(at Time, fn func(), period float64) int32 {
 	var idx int32
 	if n := len(s.free); n > 0 {
 		idx = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		s.slab = append(s.slab, event{})
+		s.slab = append(s.slab, event{}) //amoeba:allowalloc(slab growth is amortised; steady state reuses the free list)
 		idx = int32(len(s.slab) - 1)
 	}
 	ev := &s.slab[idx]
@@ -50,6 +52,8 @@ func (s *Simulator) alloc(at Time, fn func(), period float64) int32 {
 // release returns a slot to the free list and bumps its generation so
 // outstanding handles to the old occupant become no-ops. The callback is
 // dropped so the slab does not retain dead closures.
+//
+//amoeba:noalloc
 func (s *Simulator) release(idx int32) {
 	ev := &s.slab[idx]
 	ev.fn = nil
@@ -58,11 +62,13 @@ func (s *Simulator) release(idx int32) {
 	ev.dead = false
 	ev.free = true
 	ev.gen++
-	s.free = append(s.free, idx)
+	s.free = append(s.free, idx) //amoeba:allowalloc(free-list capacity tracks the slab; growth is amortised)
 }
 
 // before reports whether slab[a] fires before slab[b]: earlier time
 // first, schedule order (seq) breaking ties.
+//
+//amoeba:noalloc
 func (s *Simulator) before(a, b int32) bool {
 	ea, eb := &s.slab[a], &s.slab[b]
 	if ea.at != eb.at {
@@ -72,13 +78,17 @@ func (s *Simulator) before(a, b int32) bool {
 }
 
 // push inserts a slab index into the heap.
+//
+//amoeba:noalloc
 func (s *Simulator) push(idx int32) {
-	s.heap = append(s.heap, idx)
+	s.heap = append(s.heap, idx) //amoeba:allowalloc(heap capacity tracks peak pending events; growth is amortised)
 	s.siftUp(len(s.heap) - 1)
 }
 
 // popMin removes and returns the heap root. The caller must have checked
 // the heap is non-empty.
+//
+//amoeba:noalloc
 func (s *Simulator) popMin() int32 {
 	h := s.heap
 	top := h[0]
@@ -93,6 +103,8 @@ func (s *Simulator) popMin() int32 {
 
 // siftUp restores the heap property upward from position i, moving the
 // hole rather than swapping (one write per level).
+//
+//amoeba:noalloc
 func (s *Simulator) siftUp(i int) {
 	h := s.heap
 	idx := h[i]
@@ -110,6 +122,8 @@ func (s *Simulator) siftUp(i int) {
 // siftDown restores the heap property downward from position i. The
 // 4-ary layout halves the tree depth of a binary heap; the extra child
 // comparisons stay within one or two cache lines of int32s.
+//
+//amoeba:noalloc
 func (s *Simulator) siftDown(i int) {
 	h := s.heap
 	n := len(h)
@@ -142,6 +156,8 @@ func (s *Simulator) siftDown(i int) {
 // half of it. Cancel is O(1) (a dead mark); the sweep keeps a
 // pathological schedule/cancel workload from growing the queue without
 // bound while costing amortised O(1) per cancellation.
+//
+//amoeba:noalloc
 func (s *Simulator) maybeCompact() {
 	if s.deadQueued >= 16 && s.deadQueued*2 > len(s.heap) {
 		s.compact()
@@ -151,13 +167,15 @@ func (s *Simulator) maybeCompact() {
 // compact rebuilds the heap without its dead entries, releasing their
 // slots. Pop order is unaffected: it is fully determined by the (at, seq)
 // total order, not by the heap's internal layout.
+//
+//amoeba:noalloc
 func (s *Simulator) compact() {
 	live := s.heap[:0]
 	for _, idx := range s.heap {
 		if s.slab[idx].dead {
 			s.release(idx)
 		} else {
-			live = append(live, idx)
+			live = append(live, idx) //amoeba:allowalloc(appends into heap[:0]; live set never exceeds existing capacity)
 		}
 	}
 	s.heap = live

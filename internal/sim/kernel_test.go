@@ -298,9 +298,14 @@ func TestKernelDifferentialRandomized(t *testing.T) {
 
 // --- Zero-allocation contracts (DESIGN.md §10) ---
 
-// TestZeroAllocSchedule asserts the steady-state At+fire path allocates
-// nothing: slot from the free list, heap in place, callback invoked, slot
-// released.
+// TestZeroAllocSchedule asserts the steady-state schedule+fire path
+// allocates nothing: slot from the free list, heap in place, callback
+// invoked, slot released.
+//
+//amoeba:alloctest sim.Simulator.At sim.Simulator.After sim.Simulator.schedule
+//amoeba:alloctest sim.Simulator.Run sim.Simulator.alloc sim.Simulator.release
+//amoeba:alloctest sim.Simulator.before sim.Simulator.push sim.Simulator.popMin
+//amoeba:alloctest sim.Simulator.siftUp sim.Simulator.siftDown
 func TestZeroAllocSchedule(t *testing.T) {
 	s := New(1)
 	fn := func() {}
@@ -311,15 +316,19 @@ func TestZeroAllocSchedule(t *testing.T) {
 
 	allocs := testing.AllocsPerRun(1000, func() {
 		s.After(1, fn)
-		s.Run(s.Now() + 2)
+		s.At(s.Now()+2, fn)
+		s.Run(s.Now() + 3)
 	})
 	if allocs != 0 {
-		t.Errorf("At+fire allocates %.1f objects per event in steady state, want 0", allocs)
+		t.Errorf("schedule+fire allocates %.1f objects per event in steady state, want 0", allocs)
 	}
 }
 
 // TestZeroAllocEveryTick asserts a recurring ticker's firings reuse its
-// slot: ticks cost no allocation after the initial schedule.
+// slot: ticks cost no allocation after the initial schedule. The ticker
+// re-queue path shares Run/push/siftDown with the one-shot test above.
+//
+//amoeba:alloctest sim.Simulator.Run
 func TestZeroAllocEveryTick(t *testing.T) {
 	s := New(1)
 	stop := s.Every(1, func() {})
@@ -333,5 +342,38 @@ func TestZeroAllocEveryTick(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("Every ticks allocate %.3f objects per 16 ticks, want 0", allocs)
+	}
+}
+
+// TestZeroAllocCancel asserts the cancel path is allocation-free in
+// steady state, including the bulk compaction sweep: cancelling 64 of 64
+// queued events trips maybeCompact's dead-majority threshold on every
+// run, so compact's heap rebuild and slot releases execute inside the
+// AllocsPerRun window.
+//
+//amoeba:alloctest sim.EventHandle.Cancel sim.Simulator.maybeCompact sim.Simulator.compact
+func TestZeroAllocCancel(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	var handles [64]EventHandle
+	churn := func() {
+		for i := range handles {
+			handles[i] = s.After(float64(i+1), fn)
+		}
+		for i := range handles {
+			handles[i].Cancel()
+		}
+		s.Run(s.Now() + 128)
+	}
+	for i := 0; i < 4; i++ { // warm slab, free list and heap capacity
+		churn()
+	}
+	if s.Cancelled() == 0 {
+		t.Fatal("warm-up cancelled nothing; the churn harness is broken")
+	}
+
+	allocs := testing.AllocsPerRun(100, churn)
+	if allocs != 0 {
+		t.Errorf("schedule+cancel+compact allocates %.2f objects per 64-event batch, want 0", allocs)
 	}
 }

@@ -49,6 +49,8 @@ type EventHandle struct {
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancellation is O(1): the event is
 // marked dead in place and skipped (or swept out in bulk) later.
+//
+//amoeba:noalloc
 func (h EventHandle) Cancel() {
 	s := h.s
 	if s == nil {
@@ -105,6 +107,8 @@ func (s *Simulator) Cancelled() uint64 { return s.cancelled }
 // schedule validates the firing time and enqueues one event. period > 0
 // marks it recurring. It panics if at precedes the clock or is not
 // finite — both always indicate a model bug.
+//
+//amoeba:noalloc
 func (s *Simulator) schedule(at Time, fn func(), period float64) EventHandle {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, s.now))
@@ -119,12 +123,16 @@ func (s *Simulator) schedule(at Time, fn func(), period float64) EventHandle {
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past panics: it always indicates a model bug.
+//
+//amoeba:noalloc
 func (s *Simulator) At(at Time, fn func()) EventHandle {
 	return s.schedule(at, fn, 0)
 }
 
 // After schedules fn to run delay seconds from now. It panics if the
 // delay is negative.
+//
+//amoeba:noalloc
 func (s *Simulator) After(delay float64, fn func()) EventHandle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -140,6 +148,8 @@ func (s *Simulator) Halt() { s.halted = true }
 // call. The clock is left at min(horizon, time of last event); events
 // scheduled beyond the horizon remain queued. It panics if a recurring
 // event's next firing time overflows to a non-finite value.
+//
+//amoeba:noalloc
 func (s *Simulator) Run(horizon Time) uint64 {
 	var fired uint64
 	s.halted = false

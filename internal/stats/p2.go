@@ -34,6 +34,8 @@ func NewP2Quantile(p float64) *P2Quantile {
 }
 
 // reinit puts the estimator in its fresh state for the configured p.
+//
+//amoeba:noalloc
 func (q *P2Quantile) reinit() {
 	p := q.p
 	q.n = 0
@@ -48,6 +50,8 @@ func (q *P2Quantile) reinit() {
 // estimator is O(1) memory, so per-window accounting can hold one and
 // reset it at window boundaries without allocating. It panics on an
 // estimator not created with NewP2Quantile.
+//
+//amoeba:noalloc
 func (q *P2Quantile) Reset() {
 	if q.p <= 0 || q.p >= 1 {
 		panic(fmt.Sprintf("stats: Reset of unconfigured P² estimator (p=%v)", q.p))
@@ -56,6 +60,8 @@ func (q *P2Quantile) Reset() {
 }
 
 // Add records one observation.
+//
+//amoeba:noalloc
 func (q *P2Quantile) Add(x float64) {
 	q.n++
 	if q.ninit < 5 {

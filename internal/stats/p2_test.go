@@ -100,3 +100,23 @@ func TestP2InvalidQuantilePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestZeroAllocP2 asserts the streaming estimator's whole lifecycle —
+// reset, the five-observation bootstrap (which re-sorts in place), and
+// steady-state marker updates — allocates nothing, matching its O(1)
+// memory claim.
+//
+//amoeba:alloctest stats.P2Quantile.Add stats.P2Quantile.Reset stats.P2Quantile.reinit
+func TestZeroAllocP2(t *testing.T) {
+	q := NewP2Quantile(0.95)
+	rng := sim.NewRNG(7)
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Reset()
+		for i := 0; i < 64; i++ {
+			q.Add(rng.Float64() * 100)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("P² reset+add allocates %.2f objects per 64-observation window, want 0", allocs)
+	}
+}
