@@ -10,6 +10,7 @@
 package amoeba_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -371,6 +372,43 @@ func BenchmarkScenarioRun(b *testing.B) {
 		events = res.Events
 	}
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSuiteParallel measures sweep throughput of the parallel
+// experiment driver at fixed worker counts. Each iteration sweeps a
+// fresh suite — the memo would absorb all work after the first pass —
+// so events/s is the end-to-end rate of |benchmarks| x |variants|
+// independent simulations through the bounded pool. parallel-1 is the
+// single-threaded baseline pinned in BENCH_sim.json (it must not
+// regress against BenchmarkScenarioRun's rate); the scale-up at
+// parallel-2/4/8 is only meaningful on hardware with that many idle
+// cores, which is why BENCH_sim.json records hand-refreshed numbers
+// from quiet multi-core hardware rather than CI measurements.
+func BenchmarkSuiteParallel(b *testing.B) {
+	cfg := benchCfg()
+	cfg.DayLength = 600 // one sweep = 4 quick sims; keeps an iteration short
+	variants := []core.Variant{core.VariantAmoeba, core.VariantNameko}
+	profs := []workload.Profile{workload.Float(), workload.DD()} // quick-mode benchmarks
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSuite(cfg)
+				s.Parallel = workers
+				if err := s.Sweep(variants...); err != nil {
+					b.Fatal(err)
+				}
+				events = 0
+				for _, prof := range profs {
+					for _, v := range variants {
+						events += s.Run(prof, v).Events
+					}
+				}
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkQuantileWindow compares the three ways to account a per-window

@@ -7,8 +7,14 @@
 //	amoeba-repro                 # everything (full-scale, minutes)
 //	amoeba-repro -quick          # reduced scale (seconds to a minute)
 //	amoeba-repro -exp fig11      # one artifact
+//	amoeba-repro -parallel 8     # sweep workers (0 = GOMAXPROCS)
 //	amoeba-repro -csv out/       # also write out/<artifact>.csv
 //	amoeba-repro -list           # list artifact ids
+//
+// Parallelism spreads independent (benchmark, variant) simulations over
+// a bounded worker pool; each simulation stays sequential and
+// deterministic, so the rendered artifacts are byte-identical for a
+// given seed whatever -parallel is set to.
 package main
 
 import (
@@ -121,11 +127,12 @@ func artifacts() []artifact {
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated artifact ids, or 'all'")
-		quick   = flag.Bool("quick", false, "reduced scale (fewer benchmarks, shorter runs)")
-		list    = flag.Bool("list", false, "list artifact ids and exit")
-		seed    = flag.Uint64("seed", 0xA0EBA, "simulation seed")
-		csvDir  = flag.String("csv", "", "directory to export <artifact>.csv files into")
+		expFlag  = flag.String("exp", "all", "comma-separated artifact ids, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced scale (fewer benchmarks, shorter runs)")
+		list     = flag.Bool("list", false, "list artifact ids and exit")
+		seed     = flag.Uint64("seed", 0xA0EBA, "simulation seed")
+		csvDir   = flag.String("csv", "", "directory to export <artifact>.csv files into")
+		parallel = flag.Int("parallel", 0, "sweep worker count; 0 means GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -141,6 +148,7 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Seed = *seed
 	suite := experiments.NewSuite(cfg)
+	suite.Parallel = *parallel
 
 	want := map[string]bool{}
 	if *expFlag != "all" {

@@ -1,5 +1,5 @@
 // Command amoeba-vet is the repository's static-analysis multichecker: it
-// runs the standard `go vet` suite followed by the nine amoeba-specific
+// runs the standard `go vet` suite followed by the twelve amoeba-specific
 // analyzers that machine-check the determinism, concurrency, dimensional,
 // and hot-path invariants the reproduction depends on:
 //
@@ -15,6 +15,12 @@
 //	hotpath        forbidden APIs (wall clock, global rand, mutexes, I/O)
 //	               unreachable from kernel roots and simulator callbacks
 //	exhaustive     switches over //amoeba:enum types name every member
+//	shardsafe      //amoeba:shard workers reach no shared mutable state
+//	               (stops at audited //amoeba:shardsafe boundaries)
+//	goroleak       every go statement lifetime-bounded; per-element spawns
+//	               need a pool or semaphore
+//	chancheck      close by sender once, no send-after-close, and
+//	               named-constant capacities at //amoeba:bounded params
 //
 // Usage:
 //
@@ -29,9 +35,14 @@
 // The -suppressions mode audits those annotations instead of running the
 // analyzers: it lists every //amoeba:allow and //amoeba:allowalloc(reason)
 // in the selected packages — test files included — with its analyzer and
-// justification, and exits non-zero if any annotation lacks a reason. The
-// suppression inventory is the other half of the invariant contract:
-// every escape hatch must say why it is safe.
+// justification, and exits non-zero if any annotation lacks a reason. It
+// also inventories the declarative concurrency markers — //amoeba:shard,
+// //amoeba:shardsafe, and //amoeba:bounded — whose trailing text is a
+// note (or, for bounded, the parameter list) rather than a mandatory
+// reason: shard and bounded declare contracts the analyzers enforce, and
+// shardsafe records an audited boundary whose note says who vouches for
+// it. The inventory is the other half of the invariant contract: every
+// escape hatch and every trusted boundary must be listable in one pass.
 package main
 
 import (
@@ -48,12 +59,15 @@ import (
 	"amoeba/internal/analysis"
 	"amoeba/internal/analysis/alloccheck"
 	"amoeba/internal/analysis/boundscheck"
+	"amoeba/internal/analysis/chancheck"
 	"amoeba/internal/analysis/exhaustive"
+	"amoeba/internal/analysis/goroleak"
 	"amoeba/internal/analysis/hotpath"
 	"amoeba/internal/analysis/lockcheck"
 	"amoeba/internal/analysis/nodeterminism"
 	"amoeba/internal/analysis/paniccheck"
 	"amoeba/internal/analysis/seedflow"
+	"amoeba/internal/analysis/shardsafe"
 	"amoeba/internal/analysis/unitcheck"
 )
 
@@ -67,6 +81,9 @@ var analyzers = []*analysis.Analyzer{
 	alloccheck.Analyzer,
 	hotpath.Analyzer,
 	exhaustive.Analyzer,
+	shardsafe.Analyzer,
+	goroleak.Analyzer,
+	chancheck.Analyzer,
 }
 
 func main() {
@@ -147,11 +164,29 @@ func runAmoebaAnalyzers(patterns []string) ([]analysis.Diagnostic, error) {
 	return analysis.Run(loader, paths, analyzers)
 }
 
-// suppression is one //amoeba:allow annotation.
+// suppression is one inventoried annotation: an //amoeba:allow or
+// //amoeba:allowalloc escape (reason mandatory), or a declarative
+// concurrency marker — shard, shardsafe, bounded — whose trailing text
+// is an optional note.
 type suppression struct {
 	pos      token.Position
 	analyzer string
 	reason   string
+	declared bool // declarative marker: an empty reason is not an error
+}
+
+// markerNote parses a declarative marker comment, returning the trailing
+// note. ok follows the exact-prefix rule: //amoeba:shardX is not
+// //amoeba:shard.
+func markerNote(text, marker string) (note string, ok bool) {
+	body, found := strings.CutPrefix(text, marker)
+	if !found {
+		return "", false
+	}
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
 }
 
 // reportSuppressions scans every Go file — tests included, since
@@ -187,20 +222,31 @@ func reportSuppressions(patterns []string) error {
 			}
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
+					pos := fset.Position(c.Pos())
 					if aname, reason, ok := analysis.ParseAllow(c.Text); ok {
-						all = append(all, suppression{
-							pos:      fset.Position(c.Pos()),
-							analyzer: aname,
-							reason:   reason,
-						})
+						all = append(all, suppression{pos: pos, analyzer: aname, reason: reason})
 						continue
 					}
 					if reason, ok := analysis.ParseAllowAlloc(c.Text); ok {
-						all = append(all, suppression{
-							pos:      fset.Position(c.Pos()),
-							analyzer: "allowalloc",
-							reason:   reason,
-						})
+						all = append(all, suppression{pos: pos, analyzer: "allowalloc", reason: reason})
+						continue
+					}
+					if params, ok := analysis.ParseBounded(c.Text); ok {
+						all = append(all, suppression{pos: pos, analyzer: "bounded",
+							reason: strings.Join(params, " "), declared: true})
+						continue
+					}
+					// shardsafe before shard: the boundary rule keeps the
+					// shorter marker from matching the longer one, but the
+					// order makes the intent explicit.
+					if note, ok := markerNote(c.Text, analysis.AnnotShardSafe); ok {
+						all = append(all, suppression{pos: pos, analyzer: "shardsafe",
+							reason: note, declared: true})
+						continue
+					}
+					if note, ok := markerNote(c.Text, analysis.AnnotShard); ok {
+						all = append(all, suppression{pos: pos, analyzer: "shard",
+							reason: note, declared: true})
 					}
 				}
 			}
@@ -217,12 +263,16 @@ func reportSuppressions(patterns []string) error {
 	for _, s := range all {
 		reason := s.reason
 		if reason == "" {
-			reason = "<MISSING REASON>"
-			missing++
+			if s.declared {
+				reason = "(declared)"
+			} else {
+				reason = "<MISSING REASON>"
+				missing++
+			}
 		}
 		fmt.Printf("%s:%d: %-15s %s\n", s.pos.Filename, s.pos.Line, s.analyzer, reason)
 	}
-	fmt.Printf("%d suppression(s)\n", len(all))
+	fmt.Printf("%d annotation(s)\n", len(all))
 	if missing > 0 {
 		fmt.Fprintf(os.Stderr, "amoeba-vet: %d suppression(s) lack a reason\n", missing)
 		os.Exit(1)

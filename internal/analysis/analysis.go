@@ -127,10 +127,15 @@ func (p *Pass) allowedAt(pos token.Position, name string) bool {
 // ParseAllow parses an //amoeba:allow comment into the suppressed
 // analyzer name and the justification that follows it. The reason is
 // empty when the annotation names an analyzer but gives no justification
-// (amoeba-vet -suppressions treats that as an error).
+// (amoeba-vet -suppressions treats that as an error). The marker follows
+// the exact-prefix rule: //amoeba:allowalloc(...) is its own annotation,
+// not an allow of an analyzer named "alloc(...".
 func ParseAllow(text string) (name, reason string, ok bool) {
 	body, found := strings.CutPrefix(text, "//amoeba:allow")
 	if !found {
+		return "", "", false
+	}
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
 		return "", "", false
 	}
 	fields := strings.Fields(body)

@@ -1,7 +1,8 @@
 package analysis
 
-// Hot-path contract annotations. Three comment forms mark the static
-// side of the repository's performance contracts (DESIGN.md §11):
+// Hot-path and concurrency contract annotations. The comment forms mark
+// the static side of the repository's performance contracts (DESIGN.md
+// §11) and concurrency contracts (DESIGN.md §12):
 //
 //	//amoeba:noalloc
 //	    on a function's doc comment: the function must not allocate in
@@ -35,6 +36,27 @@ package analysis
 //	    the star, function name). TestAllocAnnotationCoverage keeps the
 //	    union of these markers and the annotation set equal in both
 //	    directions, so neither side can drift.
+//
+//	//amoeba:shard
+//	    on a function's doc comment: the function is a per-worker shard
+//	    body of a parallel sweep. shardsafe roots its call-graph walk
+//	    here and certifies that the function (and everything it reaches)
+//	    shares no mutable state with sibling workers except through
+//	    channels passed in as parameters.
+//
+//	//amoeba:shardsafe
+//	    on a function's doc comment: the function is an audited
+//	    concurrency-safe API boundary — internally synchronised shared
+//	    state that shard workers may call into (the singleflight memo is
+//	    the canonical example). shardsafe stops its walk here and trusts
+//	    the audit; the trailing note should say what makes it safe.
+//
+//	//amoeba:bounded p1 p2 ...
+//	    on a function's doc comment: the named channel-typed parameters
+//	    must be handed channels whose make capacity is a named constant.
+//	    chancheck enforces the contract at every statically resolvable
+//	    call site, so worker-pool queue depths stay auditable numbers
+//	    rather than data-dependent expressions.
 
 import (
 	"go/ast"
@@ -48,7 +70,60 @@ const (
 	AnnotHotpath   = "//amoeba:hotpath"
 	AnnotEnum      = "//amoeba:enum"
 	AnnotAllocTest = "//amoeba:alloctest"
+	AnnotShard     = "//amoeba:shard"
+	AnnotShardSafe = "//amoeba:shardsafe"
+	AnnotBounded   = "//amoeba:bounded"
 )
+
+// ParseBounded parses an //amoeba:bounded comment into the parameter
+// names it declares. ok reports that the marker is present; the name
+// list is empty when the marker names no parameters (chancheck treats
+// that as a grammar error at the declaration).
+func ParseBounded(text string) (params []string, ok bool) {
+	body, found := strings.CutPrefix(text, AnnotBounded)
+	if !found {
+		return nil, false
+	}
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return nil, false // exact-prefix rule: //amoeba:boundedX is not the marker
+	}
+	return strings.Fields(body), true
+}
+
+// BoundedParams returns the parameter names declared by an
+// //amoeba:bounded marker on the function declaration, and whether the
+// marker is present at all.
+func BoundedParams(fset *token.FileSet, file *ast.File, decl *ast.FuncDecl) ([]string, bool) {
+	for _, cg := range commentGroupsFor(fset, file, decl) {
+		for _, c := range cg.List {
+			if params, ok := ParseBounded(c.Text); ok {
+				return params, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// commentGroupsFor collects the doc group of a declaration plus any
+// free-standing comment group ending on the line directly above it (the
+// same attachment rule FuncMarked uses).
+func commentGroupsFor(fset *token.FileSet, file *ast.File, decl *ast.FuncDecl) []*ast.CommentGroup {
+	var out []*ast.CommentGroup
+	if decl.Doc != nil {
+		out = append(out, decl.Doc)
+	}
+	declLine := fset.Position(decl.Pos()).Line
+	for _, cg := range file.Comments {
+		if cg == decl.Doc {
+			continue
+		}
+		end := fset.Position(cg.End()).Line
+		if end == declLine-1 || end == declLine {
+			out = append(out, cg)
+		}
+	}
+	return out
+}
 
 // ParseAllowAlloc parses an //amoeba:allowalloc(reason) comment. ok
 // reports that the annotation is present; reason is empty when the

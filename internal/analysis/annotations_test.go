@@ -113,6 +113,123 @@ type (
 	}
 }
 
+// TestConcurrencyMarkerPositions proves the shard/shardsafe markers
+// resolve through the same attachment rules as the earlier grammar:
+// doc-group lines, trailing notes, free-standing groups above the decl,
+// build-tagged files, and methods — and that the exact-prefix rule keeps
+// //amoeba:shard from matching //amoeba:shardsafe (and vice versa).
+func TestConcurrencyMarkerPositions(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		fn     string
+		marker string
+		want   bool
+	}{
+		{"shard doc line", "package p\n\n// W is a worker.\n//\n//amoeba:shard\nfunc W() {}\n", "W", AnnotShard, true},
+		{"shard trailing note", "package p\n\n//amoeba:shard pool worker, joined in Sweep\nfunc W() {}\n", "W", AnnotShard, true},
+		{"shardsafe is not shard", "package p\n\n//amoeba:shardsafe audited latch\nfunc W() {}\n", "W", AnnotShard, false},
+		{"shard is not shardsafe", "package p\n\n//amoeba:shard\nfunc W() {}\n", "W", AnnotShardSafe, false},
+		{"shardsafe on method", "package p\n\ntype S struct{}\n\n// result is audited.\n//\n//amoeba:shardsafe singleflight latch\nfunc (s *S) result() {}\n", "result", AnnotShardSafe, true},
+		{"shard above go directive", "package p\n\n//amoeba:shard\n//go:noinline\nfunc W() {}\n", "W", AnnotShard, true},
+		{"shard in build-tag file", "//go:build race\n\npackage p\n\n//amoeba:shard\nfunc W() {}\n", "W", AnnotShard, true},
+		{"blank line detaches shard", "package p\n\n//amoeba:shard\n\nfunc W() {}\n", "W", AnnotShard, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, f := parseSrc(t, tc.src)
+			fd := namedFunc(t, f, tc.fn)
+			if got := FuncMarked(fset, f, fd, tc.marker); got != tc.want {
+				t.Errorf("FuncMarked(%s) = %v, want %v\nsrc:\n%s", tc.marker, got, tc.want, tc.src)
+			}
+		})
+	}
+}
+
+func TestParseBounded(t *testing.T) {
+	cases := []struct {
+		text   string
+		params []string
+		ok     bool
+	}{
+		{"//amoeba:bounded jobs results", []string{"jobs", "results"}, true},
+		{"//amoeba:bounded jobs", []string{"jobs"}, true},
+		{"//amoeba:bounded", nil, true},
+		{"//amoeba:bounded \t ", nil, true},
+		{"//amoeba:boundedjobs", nil, false},
+		{"//amoeba:bound jobs", nil, false},
+		{"// amoeba:bounded jobs", nil, false},
+		{"//amoeba:shard", nil, false},
+	}
+	for _, tc := range cases {
+		params, ok := ParseBounded(tc.text)
+		if ok != tc.ok || len(params) != len(tc.params) {
+			t.Errorf("ParseBounded(%q) = (%v, %v), want (%v, %v)", tc.text, params, ok, tc.params, tc.ok)
+			continue
+		}
+		for i := range params {
+			if params[i] != tc.params[i] {
+				t.Errorf("ParseBounded(%q)[%d] = %q, want %q", tc.text, i, params[i], tc.params[i])
+			}
+		}
+	}
+}
+
+// TestBoundedParams proves the declaration-level lookup: the marker is
+// found in the doc group or a free-standing group directly above, and
+// the parameter list comes back in source order.
+func TestBoundedParams(t *testing.T) {
+	src := `package p
+
+// Worker drains bounded queues.
+//
+//amoeba:shard
+//amoeba:bounded jobs results
+func Worker(jobs <-chan int, results chan<- int) {}
+
+func Plain(ch chan int) {}
+
+//amoeba:bounded in
+//go:noinline
+func Directive(in chan int) {}
+`
+	fset, f := parseSrc(t, src)
+	params, ok := BoundedParams(fset, f, namedFunc(t, f, "Worker"))
+	if !ok || len(params) != 2 || params[0] != "jobs" || params[1] != "results" {
+		t.Errorf("BoundedParams(Worker) = (%v, %v), want ([jobs results], true)", params, ok)
+	}
+	if _, ok := BoundedParams(fset, f, namedFunc(t, f, "Plain")); ok {
+		t.Error("BoundedParams(Plain) found a marker on an unannotated func")
+	}
+	params, ok = BoundedParams(fset, f, namedFunc(t, f, "Directive"))
+	if !ok || len(params) != 1 || params[0] != "in" {
+		t.Errorf("BoundedParams(Directive) = (%v, %v), want ([in], true)", params, ok)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text   string
+		name   string
+		reason string
+		ok     bool
+	}{
+		{"//amoeba:allow paniccheck index verified by caller", "paniccheck", "index verified by caller", true},
+		{"//amoeba:allow chancheck", "chancheck", "", true},
+		{"//amoeba:allow\tgoroleak tab separated", "goroleak", "tab separated", true},
+		{"//amoeba:allow", "", "", false},
+		{"//amoeba:allowalloc(amortised growth)", "", "", false},
+		{"// amoeba:allow paniccheck spaced marker", "", "", false},
+	}
+	for _, tc := range cases {
+		name, reason, ok := ParseAllow(tc.text)
+		if name != tc.name || reason != tc.reason || ok != tc.ok {
+			t.Errorf("ParseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.text, name, reason, ok, tc.name, tc.reason, tc.ok)
+		}
+	}
+}
+
 func TestParseAllowAlloc(t *testing.T) {
 	cases := []struct {
 		text   string

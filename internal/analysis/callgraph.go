@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Resolver maps type-checked function objects back to their syntax
+// across the analyzed package and its loaded module-local dependencies.
+// It is the mechanical half of a call-graph walk — hotpath and shardsafe
+// both build their reachability analyses on it — indexing each package's
+// declarations once and memoizing nothing else, so analyzers keep their
+// own per-walk state (memo tables, cycle stacks) without sharing it.
+type Resolver struct {
+	pass  *Pass
+	decls map[*types.Package]map[*types.Func]*ast.FuncDecl
+}
+
+// NewResolver returns a resolver over the pass's package and its loaded
+// dependencies.
+func NewResolver(pass *Pass) *Resolver {
+	return &Resolver{
+		pass:  pass,
+		decls: make(map[*types.Package]map[*types.Func]*ast.FuncDecl),
+	}
+}
+
+// FuncObj resolves an expression to a statically known function or
+// concrete-receiver method. Interface-dispatched methods resolve to nil:
+// dynamic dispatch is the documented blind spot of every call-graph
+// analyzer built on this resolver.
+func (r *Resolver) FuncObj(info *types.Info, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.ParenExpr:
+		return r.FuncObj(info, e.X)
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type().Underlying()) {
+			return nil // dynamic dispatch: documented blind spot
+		}
+	}
+	return fn
+}
+
+// DeclOf finds the syntax of a function in the analyzed package or in a
+// loaded module-local dependency, indexing each package once. decl is
+// nil when the defining package's syntax is unavailable (standard
+// library) or the function has no declaration (synthesised wrappers).
+func (r *Resolver) DeclOf(fn *types.Func) (decl *ast.FuncDecl, pkg *types.Package) {
+	pkg = fn.Pkg()
+	if idx, ok := r.decls[pkg]; ok {
+		return idx[fn], pkg
+	}
+	files, info := r.syntaxOf(pkg)
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	if info != nil {
+		for _, f := range files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+						idx[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	r.decls[pkg] = idx
+	return idx[fn], pkg
+}
+
+// InfoOf returns the type info covering a package's syntax, nil when the
+// package was not loaded from source.
+func (r *Resolver) InfoOf(pkg *types.Package) *types.Info {
+	_, info := r.syntaxOf(pkg)
+	return info
+}
+
+// FileOf returns the syntax file containing the declaration, so marker
+// annotations attached by free-standing comment groups can be resolved
+// against the right file.
+func (r *Resolver) FileOf(pkg *types.Package, decl *ast.FuncDecl) *ast.File {
+	files, _ := r.syntaxOf(pkg)
+	for _, f := range files {
+		if f.FileStart <= decl.Pos() && decl.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func (r *Resolver) syntaxOf(pkg *types.Package) ([]*ast.File, *types.Info) {
+	switch {
+	case pkg == r.pass.Pkg:
+		return r.pass.Files, r.pass.TypesInfo
+	case r.pass.Deps != nil:
+		if dep, ok := r.pass.Deps(pkg.Path()); ok {
+			return dep.Files, dep.Info
+		}
+	}
+	return nil, nil
+}
+
+// FuncDisplayName qualifies a function for diagnostics: receiver-dotted
+// for methods, package-prefixed when it lives outside cur.
+func FuncDisplayName(cur *types.Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := types.Unalias(rt).(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != cur {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,12 @@
+package chancheck_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/chancheck"
+)
+
+func TestChanCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", chancheck.Analyzer, "channels")
+}

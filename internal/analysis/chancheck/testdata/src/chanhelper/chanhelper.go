@@ -1,0 +1,15 @@
+// Package chanhelper is a cross-package callee for chancheck: its
+// //amoeba:bounded contract must be visible at call sites in the
+// importing package through the dependency loader.
+package chanhelper
+
+// HelperCap bounds the hand-off queue Consume drains.
+const HelperCap = 4
+
+// Consume drains a bounded queue.
+//
+//amoeba:bounded in
+func Consume(in chan int) {
+	for range in {
+	}
+}

@@ -1,0 +1,215 @@
+// Package channels exercises chancheck: receiver-side closes,
+// double-closes, sends after close, and literal capacities at
+// //amoeba:bounded parameters are flagged; sender closes, feeder
+// closures, branch-isolated closes, and named-constant capacities pass.
+package channels
+
+import (
+	"sync"
+
+	"chanhelper"
+)
+
+// queueCap bounds every well-behaved queue in this package.
+const queueCap = 8
+
+// Produce owns out: it sends, so it may close.
+func Produce(out chan int) {
+	for i := 0; i < 3; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+// Drain only receives from ch; closing it is the consumer panicking the
+// producer's next send.
+func Drain(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want `close\(ch\) from the receiving side: only the sender closes a channel`
+}
+
+// FeederClosure is the intended fan-in idiom: the nested literal sends
+// and closes, the declaring function ranges. Ownership is judged at the
+// declaration, so the literal's close is a sender-side close.
+func FeederClosure() int {
+	ch := make(chan int, queueCap)
+	go func() {
+		ch <- 1
+		ch <- 2
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// DoubleClose closes the same channel twice on a straight-line path.
+func DoubleClose() {
+	ch := make(chan int, queueCap)
+	ch <- 1
+	close(ch)
+	close(ch) // want `close\(ch\): already closed on this path`
+}
+
+// SendAfterClose panics at runtime; the path scan sees it statically.
+func SendAfterClose() {
+	ch := make(chan int, queueCap)
+	close(ch)
+	ch <- 1 // want `send on ch after close`
+}
+
+// SelectSendAfterClose: a send arm counts as a send site.
+func SelectSendAfterClose() {
+	ch := make(chan int, queueCap)
+	ch <- 0
+	close(ch)
+	select {
+	case ch <- 1: // want `send on ch after close`
+	default:
+	}
+}
+
+// BranchClose closes on each branch of an if/else: exclusive paths, no
+// double close, and the fall-through path is assumed unclosed.
+func BranchClose(flip bool) {
+	ch := make(chan int, queueCap)
+	ch <- 1
+	if flip {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// DeferredDouble: the deferred close runs at return, re-closing what the
+// explicit close already closed.
+func DeferredDouble() {
+	ch := make(chan int, queueCap)
+	defer close(ch)
+	ch <- 1
+	close(ch) // want `close\(ch\): the deferred close at .* will close it again at return`
+}
+
+// Reassigned opens a fresh channel under the same name after the close;
+// the later send targets the new channel.
+func Reassigned() {
+	ch := make(chan int, queueCap)
+	ch <- 1
+	close(ch)
+	ch = make(chan int, queueCap)
+	ch <- 2
+	close(ch)
+}
+
+// JoinThenClose is the fan-in coordinator: the Wait proves every sender
+// has exited, so the consumer-side close is safe and accepted.
+func JoinThenClose(results chan int, wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for range results {
+	}
+}
+
+// Broadcast closes a struct{} latch it only ever receives from: nothing
+// sends on a broadcast channel, so there is no send to panic.
+func Broadcast(done chan struct{}) {
+	select {
+	case <-done:
+	default:
+		close(done)
+	}
+}
+
+// Pool is the bounded consumer side of the capacity contract.
+//
+//amoeba:bounded jobs results
+func Pool(workers int, jobs chan int, results chan int) {
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				results <- j * j
+			}
+		}()
+	}
+}
+
+// GoodCaller passes channels made with the named constant.
+func GoodCaller() {
+	jobs := make(chan int, queueCap)
+	results := make(chan int, queueCap)
+	Pool(2, jobs, results)
+}
+
+// LiteralCap buries the queue bound in a magic number.
+func LiteralCap() {
+	jobs := make(chan int, 8)
+	results := make(chan int, queueCap)
+	Pool(2, jobs, results) // want `capacity 8 of the channel for //amoeba:bounded parameter jobs of Pool is not a named constant`
+}
+
+// Unbuffered passes a rendezvous channel where a bounded queue was
+// declared.
+func Unbuffered() {
+	jobs := make(chan int)
+	results := make(chan int, queueCap)
+	Pool(2, jobs, results) // want `channel for //amoeba:bounded parameter jobs of Pool is unbuffered`
+}
+
+// InlineMake checks arguments made at the call site itself.
+func InlineMake() {
+	Pool(1, make(chan int, queueCap), make(chan int, 4)) // want `capacity 4 of the channel for //amoeba:bounded parameter results of Pool is not a named constant`
+}
+
+// Forwards hands its own bounded parameter down: the contract is
+// declared at this function's boundary instead.
+//
+//amoeba:bounded jobs
+func Forwards(jobs chan int) {
+	results := make(chan int, queueCap)
+	Pool(1, jobs, results)
+}
+
+// ForwardsUnbounded passes a parameter of unknown capacity without
+// taking on the contract.
+func ForwardsUnbounded(jobs chan int) {
+	results := make(chan int, queueCap)
+	Pool(1, jobs, results) // want `ForwardsUnbounded forwards parameter jobs to //amoeba:bounded parameter jobs of Pool without declaring it //amoeba:bounded itself`
+}
+
+// CrossPackage resolves the contract through the dependency loader.
+func CrossPackage() {
+	in := make(chan int, chanhelper.HelperCap)
+	chanhelper.Consume(in)
+	bad := make(chan int, 3)
+	chanhelper.Consume(bad) // want `capacity 3 of the channel for //amoeba:bounded parameter in of Consume is not a named constant`
+}
+
+// NoNames declares the marker without naming parameters.
+//
+//amoeba:bounded
+func NoNames(ch chan int) { // want `//amoeba:bounded on NoNames names no parameters`
+	close(ch)
+}
+
+// NotAChannel lists a non-channel parameter.
+//
+//amoeba:bounded n
+func NotAChannel(n int, ch chan int) { // want `//amoeba:bounded on NotAChannel lists n, which is not a channel parameter`
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// Allowed documents a deliberate re-close with the standard annotation.
+func Allowed() {
+	ch := make(chan int, queueCap)
+	close(ch)
+	//amoeba:allow chancheck replay harness resets the stream between runs
+	close(ch)
+}

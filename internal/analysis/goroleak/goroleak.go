@@ -1,0 +1,239 @@
+// Package goroleak flags goroutines whose lifetime is not statically
+// bounded. The repository parallelises across simulations — worker
+// pools in profiling and the experiments sweep driver — and the leak
+// shapes that matter there are (1) a spawned goroutine nothing ever
+// joins, which outlives its driver and keeps its shard's memory alive,
+// and (2) a loop that launches one goroutine per data element, whose
+// peak concurrency is set by the input instead of a pool bound.
+//
+// A `go` statement is accepted as lifetime-bounded when any of these
+// holds in the spawning function:
+//
+//   - the function calls a Wait method (sync.WaitGroup.Wait or an
+//     errgroup-style .Wait()) — the conventional join;
+//   - the goroutine body consumes a channel (a receive, a range over a
+//     channel, or a select with a receive arm, including ctx.Done()) —
+//     its exit is tied to a close or quit signal;
+//   - the goroutine sends on a channel the spawning function itself
+//     receives from — a result hand-off join.
+//
+// Independently, a `go` statement whose innermost enclosing loop is a
+// range loop (or an unconditional for) is flagged as an unbounded
+// spawn unless the loop acquires a semaphore — sends on a bounding
+// channel — before spawning. Counted three-clause loops are treated as
+// pool-shaped: `for w := 0; w < workers; w++` is how every bounded pool
+// in this repository is written, and the bound is the loop condition.
+//
+// The checks are intra-procedural and syntactic: a join hidden behind a
+// helper call or a func-valued variable is invisible (annotate the spawn
+// //amoeba:allow goroleak <reason>), and a Wait anywhere in the function
+// vouches for every spawn in it. The -race experiment and profiling
+// suites are the runtime backstop, as with the other concurrency
+// analyzers (DESIGN.md §12).
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer flags unjoined goroutines and per-element goroutine spawns.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement must be lifetime-bounded (WaitGroup/errgroup join, Done/quit " +
+		"channel, or received result channel) and per-range-element spawns need a bounding " +
+		"semaphore or worker pool",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkScope(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkScope(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScope audits the go statements that belong directly to one
+// function body. Nested function literals are separate scopes: their own
+// spawns are audited when the inspection reaches them, and their joins
+// do not vouch for the enclosing function's spawns.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	facts := scopeFacts(pass, body)
+	var loops []ast.Stmt // enclosing-loop stack, innermost last
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			walkLoopBody(n, walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.GoStmt:
+			checkGo(pass, facts, loops, n)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// walkLoopBody continues the walk inside a loop statement (init/cond/
+// post/key expressions first, then the body under the pushed loop).
+func walkLoopBody(n ast.Node, walk func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		ast.Inspect(n.Body, walk)
+	case *ast.RangeStmt:
+		ast.Inspect(n.Body, walk)
+	}
+}
+
+// facts are the spawning function's join-relevant properties.
+type facts struct {
+	hasWait  bool
+	receives map[string]bool // channel exprs the function receives from
+	info     *types.Info
+}
+
+// scopeFacts scans one function body. Receives (and Wait calls) are
+// collected scope-wide, nested literals included: a result collector is
+// often a small inline closure, and counting its receives as the
+// function's own is deliberate leniency.
+func scopeFacts(pass *analysis.Pass, body *ast.BlockStmt) *facts {
+	f := &facts{receives: make(map[string]bool), info: pass.TypesInfo}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Syntactic on purpose: sync.WaitGroup, errgroup.Group, and
+			// anonymous-interface pools all join through a .Wait() method.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				f.hasWait = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				f.receives[types.ExprString(n.X)] = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.TypesInfo, n.X) {
+				f.receives[types.ExprString(n.X)] = true
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// checkGo applies the two rules to one go statement.
+func checkGo(pass *analysis.Pass, f *facts, loops []ast.Stmt, g *ast.GoStmt) {
+	if len(loops) > 0 {
+		if loop := loops[len(loops)-1]; perElementLoop(loop) && !semaphoreBefore(loop, g.Pos()) {
+			pass.Reportf(g.Pos(), "goroutine spawned per loop element without a bounding "+
+				"semaphore: use a counted worker pool (or annotate //amoeba:allow goroleak)")
+			return
+		}
+	}
+	if f.hasWait || goroutineConsumesChannel(f.info, g) || resultJoin(f, g) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine is not lifetime-bounded: join it with a WaitGroup/"+
+		"errgroup Wait, give it a Done/quit channel, or receive its result "+
+		"(//amoeba:allow goroleak to waive)")
+}
+
+// perElementLoop reports whether a loop's trip count is data-dependent:
+// a range loop or an unconditional for. Counted three-clause loops are
+// the pool idiom and pass.
+func perElementLoop(loop ast.Stmt) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		return true
+	case *ast.ForStmt:
+		return l.Cond == nil
+	}
+	return false
+}
+
+// semaphoreBefore reports whether the loop body sends on a channel
+// before pos — the `sem <- token{}` acquisition that bounds in-flight
+// goroutines.
+func semaphoreBefore(loop ast.Stmt, pos token.Pos) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		body = l.Body
+	case *ast.ForStmt:
+		body = l.Body
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if send, ok := n.(*ast.SendStmt); ok && send.Pos() < pos {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// goroutineConsumesChannel reports whether the spawned body ties its
+// exit to a channel: any receive, channel range, or select receive arm.
+func goroutineConsumesChannel(info *types.Info, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	consumes := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				consumes = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(info, n.X) {
+				consumes = true
+			}
+		}
+		return !consumes
+	})
+	return consumes
+}
+
+// resultJoin reports whether the goroutine sends on a channel the
+// spawning function receives from: the hand-off join.
+func resultJoin(f *facts, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if send, ok := n.(*ast.SendStmt); ok && f.receives[types.ExprString(send.Chan)] {
+			joined = true
+		}
+		return !joined
+	})
+	return joined
+}
+
+func isChanType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

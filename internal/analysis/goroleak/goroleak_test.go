@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "goroutines")
+}

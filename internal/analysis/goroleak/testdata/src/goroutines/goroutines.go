@@ -1,0 +1,155 @@
+// Package goroutines exercises goroleak: unjoined spawns and
+// per-element loop spawns are flagged; WaitGroup/errgroup joins, quit
+// channels, result hand-offs, counted pools, and semaphore-bounded
+// loops are not.
+package goroutines
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget spawns a goroutine nothing ever joins.
+func FireAndForget() {
+	go func() { // want `goroutine is not lifetime-bounded`
+		work(1)
+	}()
+}
+
+// NamedFireAndForget spawns a named function with no join in sight.
+func NamedFireAndForget() {
+	go work(2) // want `goroutine is not lifetime-bounded`
+}
+
+// WaitGroupJoin is the conventional join: the Wait vouches for the spawn.
+func WaitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(3)
+	}()
+	wg.Wait()
+}
+
+// ErrgroupStyleJoin joins through any .Wait() method, the errgroup shape.
+func ErrgroupStyleJoin(g interface{ Wait() error }) {
+	go work(4)
+	_ = g.Wait()
+}
+
+// QuitChannel ties the goroutine's exit to a quit signal.
+func QuitChannel(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work(5)
+			}
+		}
+	}()
+}
+
+// ContextDone selects on ctx.Done, the stdlib quit idiom.
+func ContextDone(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// RangeOverChannel consumes a work channel: the close bounds its life.
+func RangeOverChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// ResultHandoff is joined by the spawner receiving the result.
+func ResultHandoff() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work(6)
+	}()
+	return <-ch
+}
+
+// SpawnPerElement launches one goroutine per slice element.
+func SpawnPerElement(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() { // want `goroutine spawned per loop element without a bounding semaphore`
+			defer wg.Done()
+			work(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// SpawnForever launches goroutines from an unconditional loop.
+func SpawnForever(jobs chan int) {
+	for {
+		j := <-jobs
+		go work(j) // want `goroutine spawned per loop element without a bounding semaphore`
+	}
+}
+
+// SemaphoreBounded acquires a slot before each spawn: in-flight
+// goroutines are capped by the semaphore's capacity.
+func SemaphoreBounded(items []int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(it)
+			<-sem
+		}()
+	}
+	wg.Wait()
+}
+
+// CountedPool is the repository's worker-pool idiom: a three-clause loop
+// bounded by the worker count, joined by the WaitGroup.
+func CountedPool(workers int, jobs chan int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				work(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NestedScope: the literal's own spawn is audited against the literal,
+// not the enclosing function — the outer Wait does not vouch for it.
+func NestedScope() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		go work(7) // want `goroutine is not lifetime-bounded`
+	}()
+	wg.Wait()
+}
+
+// Allowed waives a deliberate detached spawn with the standard
+// annotation.
+func Allowed() {
+	//amoeba:allow goroleak process-lifetime metrics flusher, exits with main
+	go work(8)
+}
+
+func work(x int) int { return x * x }

@@ -61,9 +61,9 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	w := &walker{
-		pass:  pass,
-		memo:  make(map[*types.Func][]reach),
-		decls: make(map[*types.Package]map[*types.Func]*ast.FuncDecl),
+		pass:    pass,
+		resolve: analysis.NewResolver(pass),
+		memo:    make(map[*types.Func][]reach),
 	}
 	for _, f := range pass.Files {
 		for _, fd := range analysis.MarkedFuncs(pass.Fset, f, analysis.AnnotNoAlloc) {
@@ -86,10 +86,10 @@ type reach struct {
 }
 
 type walker struct {
-	pass  *analysis.Pass
-	memo  map[*types.Func][]reach
-	busy  []*types.Func // in-progress stack for cycle cut-off
-	decls map[*types.Package]map[*types.Func]*ast.FuncDecl
+	pass    *analysis.Pass
+	resolve *analysis.Resolver
+	memo    map[*types.Func][]reach
+	busy    []*types.Func // in-progress stack for cycle cut-off
 }
 
 // callbackRoots treats the function arguments of simulator scheduling
@@ -116,7 +116,7 @@ func (w *walker) callbackRoots(f *ast.File) {
 			if fn := w.funcObj(arg); fn != nil {
 				for _, r := range w.analyze(fn) {
 					w.pass.Reportf(arg.Pos(), "sim.%s callback %s reaches %s (%s) via %s",
-						name, funcName(w.pass.Pkg, fn), r.api, r.why, strings.Join(r.chain, " -> "))
+						name, analysis.FuncDisplayName(w.pass.Pkg, fn), r.api, r.why, strings.Join(r.chain, " -> "))
 				}
 			}
 		}
@@ -161,7 +161,7 @@ func (w *walker) analyze(fn *types.Func) []reach {
 			return nil // cycle: the first visit owns the result
 		}
 	}
-	decl, pkg := w.declOf(fn)
+	decl, pkg := w.resolve.DeclOf(fn)
 	if decl == nil || decl.Body == nil {
 		w.memo[fn] = nil
 		return nil
@@ -169,8 +169,8 @@ func (w *walker) analyze(fn *types.Func) []reach {
 	w.busy = append(w.busy, fn)
 	defer func() { w.busy = w.busy[:len(w.busy)-1] }()
 
-	info := w.infoOf(pkg)
-	self := funcName(w.pass.Pkg, fn)
+	info := w.resolve.InfoOf(pkg)
+	self := analysis.FuncDisplayName(w.pass.Pkg, fn)
 	var out []reach
 	seen := make(map[string]bool)
 	add := func(r reach) {
@@ -188,7 +188,7 @@ func (w *walker) analyze(fn *types.Func) []reach {
 			add(reach{api: api, why: why, chain: []string{self}})
 			return true
 		}
-		if callee := funcObjIn(info, call.Fun); callee != nil {
+		if callee := w.resolve.FuncObj(info, call.Fun); callee != nil {
 			for _, r := range w.analyze(callee) {
 				add(reach{api: r.api, why: r.why, chain: append([]string{self}, r.chain...)})
 			}
@@ -202,77 +202,7 @@ func (w *walker) analyze(fn *types.Func) []reach {
 // funcObj resolves an expression in the analyzed package to a
 // statically known function or concrete method.
 func (w *walker) funcObj(e ast.Expr) *types.Func {
-	return funcObjIn(w.pass.TypesInfo, e)
-}
-
-func funcObjIn(info *types.Info, e ast.Expr) *types.Func {
-	var id *ast.Ident
-	switch e := e.(type) {
-	case *ast.Ident:
-		id = e
-	case *ast.SelectorExpr:
-		id = e.Sel
-	case *ast.ParenExpr:
-		return funcObjIn(info, e.X)
-	default:
-		return nil
-	}
-	fn, ok := info.Uses[id].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return nil
-	}
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		if types.IsInterface(sig.Recv().Type().Underlying()) {
-			return nil // dynamic dispatch: documented blind spot
-		}
-	}
-	return fn
-}
-
-// declOf finds the syntax of a function in the analyzed package or in a
-// loaded module-local dependency, indexed once per package.
-func (w *walker) declOf(fn *types.Func) (*ast.FuncDecl, *types.Package) {
-	pkg := fn.Pkg()
-	if idx, ok := w.decls[pkg]; ok {
-		return idx[fn], pkg
-	}
-	var files []*ast.File
-	var info *types.Info
-	switch {
-	case pkg == w.pass.Pkg:
-		files, info = w.pass.Files, w.pass.TypesInfo
-	case w.pass.Deps != nil:
-		if dep, ok := w.pass.Deps(pkg.Path()); ok {
-			files, info = dep.Files, dep.Info
-		}
-	}
-	idx := make(map[*types.Func]*ast.FuncDecl)
-	if info != nil {
-		for _, f := range files {
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok {
-					if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
-						idx[obj] = fd
-					}
-				}
-			}
-		}
-	}
-	w.decls[pkg] = idx
-	return idx[fn], pkg
-}
-
-// infoOf returns the type info covering a package's syntax.
-func (w *walker) infoOf(pkg *types.Package) *types.Info {
-	if pkg == w.pass.Pkg {
-		return w.pass.TypesInfo
-	}
-	if w.pass.Deps != nil {
-		if dep, ok := w.pass.Deps(pkg.Path()); ok {
-			return dep.Info
-		}
-	}
-	return nil
+	return w.resolve.FuncObj(w.pass.TypesInfo, e)
 }
 
 // forbiddenAPI classifies a call against the forbidden-API table.
@@ -349,23 +279,4 @@ func rootName(fd *ast.FuncDecl) string {
 		return id.Name + "." + fd.Name.Name
 	}
 	return fd.Name.Name
-}
-
-// funcName qualifies a function with its package name when it lives
-// outside the analyzed package.
-func funcName(cur *types.Package, fn *types.Func) string {
-	name := fn.Name()
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		rt := sig.Recv().Type()
-		if p, ok := types.Unalias(rt).(*types.Pointer); ok {
-			rt = p.Elem()
-		}
-		if n, ok := types.Unalias(rt).(*types.Named); ok {
-			name = n.Obj().Name() + "." + name
-		}
-	}
-	if fn.Pkg() != nil && fn.Pkg() != cur {
-		name = fn.Pkg().Name() + "." + name
-	}
-	return name
 }

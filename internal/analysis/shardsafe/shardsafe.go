@@ -1,0 +1,277 @@
+// Package shardsafe certifies the shard-isolation model of the parallel
+// sweep drivers: a function annotated //amoeba:shard is one worker's run
+// body, and two workers must not be able to share mutable state except
+// through the channels handed to them as parameters. The analyzer walks
+// the static call graph from every shard root (the same resolver-backed
+// walk hotpath uses) and flags, in the root and in everything it
+// reaches:
+//
+//   - writes to package-level mutable state (assignments, ++/--, and
+//     in-place builtin mutation via delete/copy whose target is a
+//     package-level variable) — two workers racing on a global;
+//   - sends on channels not declared inside the function (a parameter,
+//     the receiver, or a local make are fine; a package-level or
+//     otherwise captured channel is not) — results must flow through
+//     the channel the driver passed in;
+//   - sync.Mutex.Lock / sync.RWMutex.Lock/RLock — a shard body needing
+//     a lock means it is touching shared state; the audited escape is
+//     the //amoeba:shardsafe annotation below, not an inline lock;
+//   - package-level math/rand and math/rand/v2 calls — the global
+//     source is shared mutable state (seedflow/nodeterminism flag it
+//     for determinism; here it is also a cross-shard race).
+//
+// A call into a function annotated //amoeba:shardsafe is trusted and not
+// walked: the annotation marks an audited concurrency-safe API boundary
+// (the experiments singleflight memo is the canonical example — shared
+// state by design, internally synchronised, named in DESIGN.md §12).
+// Calls the walk cannot resolve — interface dispatch, func values, and
+// standard-library internals — are the documented blind spots, backed
+// at runtime by the -race suite over the same drivers. Transitive
+// findings are reported at the call edge in the analyzed package with
+// the chain in the message, so an //amoeba:allow shardsafe suppression
+// sits next to code the package owns.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// Analyzer flags shared mutable state reachable from //amoeba:shard
+// worker functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc: "//amoeba:shard workers (and everything they reach) must not write package-level " +
+		"state, send on non-parameter channels, lock mutexes, or touch global math/rand; " +
+		"audited shared APIs are annotated //amoeba:shardsafe",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{
+		pass:    pass,
+		resolve: analysis.NewResolver(pass),
+		memo:    make(map[*types.Func][]finding),
+	}
+	for _, f := range pass.Files {
+		for _, fd := range analysis.MarkedFuncs(pass.Fset, f, analysis.AnnotShard) {
+			w.reportRoot(f, fd)
+		}
+	}
+	return nil
+}
+
+// finding is one isolation violation reachable from a shard root: what
+// was touched and the call chain that gets there.
+type finding struct {
+	desc  string
+	chain []string
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	resolve *analysis.Resolver
+	memo    map[*types.Func][]finding
+	busy    []*types.Func // in-progress stack for cycle cut-off
+}
+
+// reportRoot walks one //amoeba:shard declaration, reporting direct
+// violations at their site and transitive ones at the call edge.
+func (w *walker) reportRoot(file *ast.File, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	root := rootName(fd)
+	info := w.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if desc, ok := violationDesc(info, fd, n); ok {
+			w.pass.Reportf(n.Pos(), "shard worker %s %s", root, desc)
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := w.resolve.FuncObj(info, call.Fun); fn != nil {
+				for _, f := range w.analyze(fn) {
+					w.pass.Reportf(call.Pos(), "shard worker %s reaches code that %s via %s",
+						root, f.desc, strings.Join(f.chain, " -> "))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// analyze computes the isolation violations inside fn and everything it
+// reaches, one finding per distinct description, memoized per package
+// walk. A //amoeba:shardsafe annotation on fn short-circuits the walk.
+func (w *walker) analyze(fn *types.Func) []finding {
+	if fs, ok := w.memo[fn]; ok {
+		return fs
+	}
+	for _, b := range w.busy {
+		if b == fn {
+			return nil // cycle: the first visit owns the result
+		}
+	}
+	decl, pkg := w.resolve.DeclOf(fn)
+	if decl == nil || decl.Body == nil {
+		w.memo[fn] = nil
+		return nil // no syntax: stdlib blind spot, screened by violation()
+	}
+	if file := w.resolve.FileOf(pkg, decl); file != nil &&
+		analysis.FuncMarked(w.pass.Fset, file, decl, analysis.AnnotShardSafe) {
+		w.memo[fn] = nil // audited concurrency-safe boundary
+		return nil
+	}
+	w.busy = append(w.busy, fn)
+	defer func() { w.busy = w.busy[:len(w.busy)-1] }()
+
+	info := w.resolve.InfoOf(pkg)
+	self := analysis.FuncDisplayName(w.pass.Pkg, fn)
+	var out []finding
+	seen := make(map[string]bool)
+	add := func(f finding) {
+		if !seen[f.desc] {
+			seen[f.desc] = true
+			out = append(out, f)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if desc, ok := violationDesc(info, decl, n); ok {
+			add(finding{desc: desc, chain: []string{self}})
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := w.resolve.FuncObj(info, call.Fun); callee != nil {
+				for _, f := range w.analyze(callee) {
+					add(finding{desc: f.desc, chain: append([]string{self}, f.chain...)})
+				}
+			}
+		}
+		return true
+	})
+	w.memo[fn] = out
+	return out
+}
+
+// violationDesc classifies one AST node inside the function declared by
+// decl against the shard-isolation rules.
+func violationDesc(info *types.Info, decl *ast.FuncDecl, n ast.Node) (desc string, ok bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if v := pkgLevelTarget(info, lhs); v != nil {
+				return "writes package-level " + v.Name(), true
+			}
+		}
+	case *ast.IncDecStmt:
+		if v := pkgLevelTarget(info, n.X); v != nil {
+			return "writes package-level " + v.Name(), true
+		}
+	case *ast.SendStmt:
+		if v, shared := sharedChannel(info, decl, n.Chan); shared {
+			name := "channel expression"
+			if v != nil {
+				name = v.Name()
+			}
+			return "sends on " + name + ", a channel not passed in as a parameter", true
+		}
+	case *ast.CallExpr:
+		if id, isBuiltin := n.Fun.(*ast.Ident); isBuiltin && len(n.Args) > 0 {
+			if _, ok := info.Uses[id].(*types.Builtin); ok &&
+				(id.Name == "delete" || id.Name == "copy") {
+				if v := pkgLevelTarget(info, n.Args[0]); v != nil {
+					return "mutates package-level " + v.Name() + " via " + id.Name, true
+				}
+			}
+		}
+		if pkg, name := analysis.PkgFunc(info, n); pkg == "math/rand" || pkg == "math/rand/v2" {
+			return "calls global " + pkg + "." + name + ", shared mutable state across shards", true
+		}
+		if pkg, recv, name := analysis.Method(info, n); pkg == "sync" {
+			if (recv == "Mutex" && name == "Lock") ||
+				(recv == "RWMutex" && (name == "Lock" || name == "RLock")) {
+				return "locks sync." + recv + ", a sign of state shared across shards", true
+			}
+		}
+	}
+	return "", false
+}
+
+// pkgLevelTarget unwraps an assignment/mutation target (selector, index,
+// star, paren chains) to its base identifier and returns the variable if
+// it is package-level. Blank assignments and locals return nil.
+func pkgLevelTarget(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := info.ObjectOf(x).(*types.Var)
+			if !ok || v.IsField() || v.Pkg() == nil {
+				return nil
+			}
+			if v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// sharedChannel reports whether the channel expression of a send escapes
+// the shard: its base variable is declared outside the enclosing
+// function declaration (package-level, or not an identifier at all).
+// Parameters, the receiver, and local makes all live inside decl's
+// source range and are allowed.
+func sharedChannel(info *types.Info, decl *ast.FuncDecl, ch ast.Expr) (*types.Var, bool) {
+	for {
+		switch x := ch.(type) {
+		case *ast.ParenExpr:
+			ch = x.X
+		case *ast.SelectorExpr:
+			ch = x.X
+		case *ast.IndexExpr:
+			ch = x.X
+		case *ast.Ident:
+			v, ok := info.ObjectOf(x).(*types.Var)
+			if !ok {
+				return nil, true
+			}
+			if v.Pos() >= decl.Pos() && v.Pos() < decl.End() {
+				return v, false
+			}
+			return v, true
+		default:
+			return nil, true // computed channel: not locally traceable
+		}
+	}
+}
+
+func rootName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+			continue
+		}
+		break
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"amoeba/internal/analysis/analysistest"
+	"amoeba/internal/analysis/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "shardwork")
+}

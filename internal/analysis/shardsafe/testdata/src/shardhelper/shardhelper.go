@@ -1,0 +1,29 @@
+// Package shardhelper provides callees that shardsafe's walk reaches
+// across the package boundary through the dependency loader.
+package shardhelper
+
+import "sync"
+
+// Total is package-level mutable state two shards could race on.
+var Total int
+
+var mu sync.Mutex
+
+// Accumulate writes the package-level counter.
+func Accumulate(x int) {
+	Total += x
+}
+
+// Pure touches nothing shared.
+func Pure(x int) int { return x * 2 }
+
+// Guarded is an audited concurrency-safe API: it synchronises its shared
+// state internally and shard workers may call it.
+//
+//amoeba:shardsafe internally synchronised; audited in the harness tests
+func Guarded(x int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	Total += x
+	return Total
+}

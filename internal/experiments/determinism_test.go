@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"amoeba/internal/core"
+	"amoeba/internal/obs"
+	"amoeba/internal/report"
+)
+
+// sweepArtifacts runs a full sweep at the given worker count and renders
+// every artifact class the repository ships: the per-key JSONL event
+// stream (captured through a bus attached inside the run seam), the
+// summary table, and its CSV. Everything is returned as raw bytes so the
+// caller can demand bit-for-bit equality.
+func sweepArtifacts(t *testing.T, parallel int) (streams map[string]string, table, csv string) {
+	t.Helper()
+	cfg := raceCfg()
+	s := NewSuite(cfg)
+	s.Parallel = parallel
+
+	var mu sync.Mutex
+	bufs := map[string]*bytes.Buffer{}
+	s.run = func(sc core.Scenario) *core.Result {
+		buf := &bytes.Buffer{}
+		bus := obs.NewBus()
+		bus.Attach(obs.NewJSONLWriter(buf))
+		sc.Bus = bus
+		r := core.Run(sc)
+		key := fmt.Sprintf("%s|%d", sc.Services[0].Profile.Name, sc.Variant)
+		mu.Lock()
+		bufs[key] = buf
+		mu.Unlock()
+		return r
+	}
+
+	variants := []core.Variant{core.VariantAmoeba, core.VariantNameko}
+	if err := s.Sweep(variants...); err != nil {
+		t.Fatal(err)
+	}
+
+	tab := report.NewTable("sweep determinism", "benchmark", "variant", "violation fraction")
+	for _, prof := range cfg.benchmarks() {
+		for _, v := range variants {
+			tab.AddRow(prof.Name, int(v), s.Service(prof, v).Collector.ViolationFraction())
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := tab.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	streams = map[string]string{}
+	for k, b := range bufs {
+		streams[k] = b.String()
+	}
+	return streams, tab.String(), csvBuf.String()
+}
+
+// TestSweepDeterministicAcrossParallelism is the driver's core promise:
+// the rendered table, its CSV, and the per-run JSONL event streams are
+// byte-identical whether the sweep ran on one worker or eight. Each
+// simulation is sequential and seeded; parallelism only spreads distinct
+// keys, so any byte of divergence means goroutine scheduling leaked into
+// a result.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps in -short mode")
+	}
+	s1, t1, c1 := sweepArtifacts(t, 1)
+	s8, t8, c8 := sweepArtifacts(t, 8)
+
+	if t1 != t8 {
+		t.Errorf("table differs between -parallel 1 and -parallel 8:\n--- 1 ---\n%s--- 8 ---\n%s", t1, t8)
+	}
+	if c1 != c8 {
+		t.Errorf("CSV differs between -parallel 1 and -parallel 8:\n--- 1 ---\n%s--- 8 ---\n%s", c1, c8)
+	}
+	if len(s1) != len(s8) {
+		t.Fatalf("run count differs: %d keys at -parallel 1, %d at -parallel 8", len(s1), len(s8))
+	}
+	for key, b1 := range s1 {
+		b8, ok := s8[key]
+		if !ok {
+			t.Errorf("key %s simulated at -parallel 1 but not at -parallel 8", key)
+			continue
+		}
+		if b1 != b8 {
+			t.Errorf("JSONL stream for %s differs between -parallel 1 and -parallel 8 "+
+				"(%d vs %d bytes)", key, len(b1), len(b8))
+		}
+		if len(b1) == 0 {
+			t.Errorf("JSONL stream for %s is empty: the bus was not attached", key)
+		}
+	}
+}

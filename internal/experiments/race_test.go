@@ -45,6 +45,33 @@ func TestSuiteConcurrentRunSameKey(t *testing.T) {
 	}
 }
 
+// TestSuiteSweepRaceParallel drives the bounded pool at eight workers
+// while an overlapping caller walks the same keys through Run. Under
+// -race this proves the lock discipline of the sweep driver and the
+// flight latch together: workers and the outside caller share flights,
+// so no key simulates twice and no write to a flight races a read.
+func TestSuiteSweepRaceParallel(t *testing.T) {
+	cfg := raceCfg()
+	s := NewSuite(cfg)
+	s.Parallel = 8
+	variants := []core.Variant{core.VariantAmoeba, core.VariantNameko}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, prof := range cfg.benchmarks() {
+			for _, v := range variants {
+				s.Run(prof, v)
+			}
+		}
+	}()
+	if err := s.Sweep(variants...); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
 // TestSuitePrefetchMatchesSequential runs the same configuration through
 // the concurrent Prefetch fan-out and through plain sequential Run calls,
 // then compares the QoS outcome of every (benchmark, variant) pair. The

@@ -1,12 +1,20 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"amoeba/internal/core"
 	"amoeba/internal/workload"
 )
+
+// sweepQueueCap bounds the sweep driver's job and result queues. The
+// full evaluation is |benchmarks| x |variants| ~ two dozen keys, so one
+// named constant comfortably holds a whole sweep without the feeder
+// ever blocking on a slow worker.
+const sweepQueueCap = 64
 
 // Suite memoises full scenario runs per (benchmark, variant) so the
 // figures that share runs (Fig. 10/11 share Amoeba+Nameko+OpenWhisk;
@@ -14,20 +22,39 @@ import (
 // re-simulate.
 //
 // Concurrent callers of the same key are single-flighted: the first
-// claims an in-flight latch and simulates, the rest block on the latch
-// and reuse its result. Without the latch, two goroutines racing past
-// the memo check would both run the (seconds-long) simulation and one
-// result would be discarded.
+// claims the flight and simulates, the rest block on the flight's latch
+// and share its outcome. A panicking run is latched too — the panic is
+// captured as an error naming the key and memoised, so waiters (and
+// every later caller) observe the failure instead of retrying a
+// simulation that just proved it can crash or deadlocking on a latch
+// nobody will release.
+//
+// Parallelism lives strictly above the kernel: each simulation is
+// sequential and deterministic, the sweep driver only spreads distinct
+// keys across workers, and results land in a keyed memo — so every
+// table, CSV, and JSONL artifact is byte-identical for a given seed
+// whatever the worker count.
 type Suite struct {
 	Cfg Config
 
-	mu       sync.Mutex
-	runs     map[string]*core.Result
-	inflight map[string]chan struct{}
+	// Parallel is the sweep worker count; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Parallel int
+
+	mu      sync.Mutex
+	flights map[string]*flight
 
 	// run performs one simulation; tests substitute it to count
 	// invocations. Defaults to core.Run.
 	run func(core.Scenario) *core.Result
+}
+
+// flight is one single-flighted simulation: a latch plus the memoised
+// outcome, valid to read once done is closed.
+type flight struct {
+	done chan struct{}
+	r    *core.Result
+	err  error
 }
 
 // NewSuite creates an empty suite. It panics if the config fails
@@ -37,55 +64,60 @@ func NewSuite(cfg Config) *Suite {
 		panic(err)
 	}
 	return &Suite{
-		Cfg:      cfg,
-		runs:     make(map[string]*core.Result),
-		inflight: make(map[string]chan struct{}),
-		run:      core.Run,
+		Cfg:     cfg,
+		flights: make(map[string]*flight),
+		run:     core.Run,
 	}
 }
 
 // Run returns the (memoised) result of one benchmark under one variant.
+// If the simulation fails, Run panics with the memoised keyed error;
+// the table drivers treat a crashed simulation as fatal. Use result for
+// the error-returning form.
 func (s *Suite) Run(prof workload.Profile, v core.Variant) *core.Result {
+	r, err := s.result(prof, v)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// result is the singleflight core: one flight per key, its outcome —
+// result or captured panic — memoised for waiters and later callers
+// alike.
+//
+// The latch and memo are audited for cross-shard safety: the mutex
+// guards only map access, never a blocking operation (lockcheck), and
+// the flight latch is written once before close and read only after
+// (the close is the happens-before edge). Sweep workers are the
+// concurrent callers.
+//
+//amoeba:shardsafe singleflight latch audited: mutex never held across a block, flight fields sealed by close(done)
+func (s *Suite) result(prof workload.Profile, v core.Variant) (*core.Result, error) {
 	key := fmt.Sprintf("%s|%d", prof.Name, v)
 	s.mu.Lock()
-	for {
-		if r, ok := s.runs[key]; ok {
-			s.mu.Unlock()
-			return r
-		}
-		ch, busy := s.inflight[key]
-		if !busy {
-			break
-		}
-		// Another goroutine is simulating this key: wait for its latch,
-		// then re-check the memo (it holds the result — unless the
-		// runner panicked, in which case this goroutine takes over).
+	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
-		<-ch
-		s.mu.Lock()
+		<-f.done
+		return f.r, f.err
 	}
-	ch := make(chan struct{})
-	s.inflight[key] = ch
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
 	s.mu.Unlock()
 
-	var r *core.Result
-	defer func() {
-		// Release the latch even if the run panics, so waiters retry
-		// instead of blocking forever.
-		s.mu.Lock()
-		if r != nil {
-			s.runs[key] = r
-		}
-		delete(s.inflight, key)
-		s.mu.Unlock()
-		close(ch)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				f.err = fmt.Errorf("experiments: run %s panicked: %v", key, p)
+			}
+			close(f.done)
+		}()
+		// Profiles are memoised globally; the run itself is sequential
+		// and deterministic. Simulate outside the lock so concurrent
+		// callers can work on different keys.
+		f.r = s.run(s.Cfg.scenario(prof, v))
 	}()
-
-	// Profiles are memoised globally; the run itself is sequential and
-	// deterministic. Simulate outside the lock so concurrent callers can
-	// work on different keys.
-	r = s.run(s.Cfg.scenario(prof, v))
-	return r
+	return f.r, f.err
 }
 
 // Service extracts the benchmark's own result from a run.
@@ -93,19 +125,91 @@ func (s *Suite) Service(prof workload.Profile, v core.Variant) *core.ServiceResu
 	return s.Run(prof, v).Services[prof.Name]
 }
 
-// Prefetch runs the given variants for every benchmark concurrently, one
-// goroutine per (benchmark, variant) — simulations are independent.
-func (s *Suite) Prefetch(variants ...core.Variant) {
-	var wg sync.WaitGroup
+// sweepJob is one (benchmark, variant) key, tagged with its canonical
+// position so outcomes can be merged in sweep order.
+type sweepJob struct {
+	idx  int
+	prof workload.Profile
+	v    core.Variant
+}
+
+// sweepOutcome is one worker's report for one job.
+type sweepOutcome struct {
+	idx int
+	err error
+}
+
+// Sweep runs every benchmark under every given variant through a
+// bounded worker pool and reports the failures, joined in canonical
+// (benchmark x variant) order with each error naming its key. The
+// worker count is Parallel (default GOMAXPROCS), capped at the job
+// count; results land in the keyed memo, so the artifacts rendered from
+// a swept suite are byte-identical to a sequential run.
+func (s *Suite) Sweep(variants ...core.Variant) error {
+	var all []sweepJob
 	for _, prof := range s.Cfg.benchmarks() {
 		for _, v := range variants {
-			prof, v := prof, v
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				s.Run(prof, v)
-			}()
+			all = append(all, sweepJob{idx: len(all), prof: prof, v: v})
 		}
 	}
-	wg.Wait()
+	if len(all) == 0 {
+		return nil
+	}
+	workers := s.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+
+	jobs := make(chan sweepJob, sweepQueueCap)
+	results := make(chan sweepOutcome, sweepQueueCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.sweepWorker(jobs, results)
+		}()
+	}
+	go func() {
+		for _, j := range all {
+			jobs <- j
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	errs := make([]error, len(all))
+	for out := range results {
+		errs[out.idx] = out.err
+	}
+	return errors.Join(errs...) // nil errors are dropped; order is canonical
+}
+
+// sweepWorker drains the job queue through the singleflight memo. It is
+// a shard: all shared state it touches sits behind the audited
+// singleflight boundary, and its only channels are the bounded queues
+// the driver handed it.
+//
+//amoeba:shard
+//amoeba:bounded jobs results
+func (s *Suite) sweepWorker(jobs <-chan sweepJob, results chan<- sweepOutcome) {
+	for j := range jobs {
+		_, err := s.result(j.prof, j.v)
+		results <- sweepOutcome{idx: j.idx, err: err}
+	}
+}
+
+// Prefetch warms the memo for the given variants across every benchmark
+// via the sweep driver, preserving its historical contract of panicking
+// on a failed run; use Sweep for the error-returning form.
+func (s *Suite) Prefetch(variants ...core.Variant) {
+	if err := s.Sweep(variants...); err != nil {
+		panic(err)
+	}
 }

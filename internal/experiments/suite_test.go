@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -85,42 +87,105 @@ func TestSuiteSingleFlightDistinctKeys(t *testing.T) {
 	}
 }
 
-// TestSuiteSingleFlightPanicRecovers checks the latch is released when a
-// run panics: waiters take over instead of deadlocking.
-func TestSuiteSingleFlightPanicRecovers(t *testing.T) {
+// TestSuiteSingleFlightPanicPropagates checks that a panicking run is
+// captured as a keyed, memoised error: the flight's waiters observe the
+// failure instead of retrying the simulation (or deadlocking on an
+// unreleased latch), and so does every later caller of the same key.
+func TestSuiteSingleFlightPanicPropagates(t *testing.T) {
 	s := NewSuite(quickCfg())
 	var calls int32
 	firstIn := make(chan struct{})
 	s.run = func(core.Scenario) *core.Result {
-		if atomic.AddInt32(&calls, 1) == 1 {
-			close(firstIn)
-			time.Sleep(5 * time.Millisecond)
+		atomic.AddInt32(&calls, 1)
+		close(firstIn)
+		time.Sleep(5 * time.Millisecond)
+		panic("injected run failure")
+	}
+
+	prof := workload.Float()
+	firstErr := make(chan error, 1)
+	go func() {
+		firstErr <- recoveredErr(func() { s.Run(prof, core.VariantAmoeba) })
+	}()
+	// The flight is claimed before s.run is entered, so once firstIn
+	// closes the second caller is guaranteed to wait on the latch and
+	// receive the captured panic as its outcome.
+	<-firstIn
+	for _, caller := range []string{"waiter", "first", "later"} {
+		var err error
+		if caller == "first" {
+			err = <-firstErr
+		} else {
+			err = recoveredErr(func() { s.Run(prof, core.VariantAmoeba) })
+		}
+		if err == nil {
+			t.Fatalf("%s caller: run panic not propagated", caller)
+		}
+		for _, frag := range []string{prof.Name, "panicked", "injected run failure"} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Fatalf("%s caller: error %q does not name %q", caller, err, frag)
+			}
+		}
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("run called %d times, want 1 (the failure is memoised, never retried)", got)
+	}
+}
+
+// TestSuiteSweepPropagatesPanics checks the driver-level contract: Sweep
+// returns the keyed errors of failed runs while the healthy keys still
+// land in the memo.
+func TestSuiteSweepPropagatesPanics(t *testing.T) {
+	s := NewSuite(quickCfg())
+	s.Parallel = 4
+	bad := workload.Float().Name
+	var calls int32
+	s.run = func(sc core.Scenario) *core.Result {
+		atomic.AddInt32(&calls, 1)
+		if sc.Services[0].Profile.Name == bad {
 			panic("injected run failure")
 		}
 		return &core.Result{}
 	}
 
-	prof := workload.Float()
-	done := make(chan *core.Result, 1)
-	go func() {
-		defer func() { recover() }()
-		s.Run(prof, core.VariantAmoeba)
-		done <- nil // unreachable: the first run panics
+	err := s.Sweep(core.VariantAmoeba)
+	if err == nil {
+		t.Fatal("Sweep swallowed a panicked run")
+	}
+	for _, frag := range []string{bad, "panicked", "injected run failure"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("Sweep error %q does not name %q", err, frag)
+		}
+	}
+	if got, want := atomic.LoadInt32(&calls), int32(len(quickCfg().benchmarks())); got != want {
+		t.Fatalf("Sweep ran %d simulations, want %d", got, want)
+	}
+	// The healthy keys are memoised despite the sibling failure.
+	for _, prof := range quickCfg().benchmarks() {
+		if prof.Name == bad {
+			continue
+		}
+		if r := s.Run(prof, core.VariantAmoeba); r == nil {
+			t.Fatalf("healthy key %s not served from the memo", prof.Name)
+		}
+	}
+	if got, want := atomic.LoadInt32(&calls), int32(len(quickCfg().benchmarks())); got != want {
+		t.Fatalf("memoised keys re-ran: %d simulations after re-reads, want %d", got, want)
+	}
+}
+
+// recoveredErr runs f and converts a panic into an error (nil when f
+// returns normally).
+func recoveredErr(f func()) (err error) {
+	defer func() {
+		switch p := recover().(type) {
+		case nil:
+		case error:
+			err = p
+		default:
+			err = fmt.Errorf("%v", p)
+		}
 	}()
-	// The latch is claimed before s.run is entered, so once firstIn
-	// closes the second caller is guaranteed to wait on it, then take
-	// over after the panic releases it.
-	<-firstIn
-	r := s.Run(prof, core.VariantAmoeba)
-	if r == nil {
-		t.Fatal("takeover run returned nil")
-	}
-	if got := atomic.LoadInt32(&calls); got != 2 {
-		t.Fatalf("run called %d times, want 2 (panicked flight + takeover)", got)
-	}
-	select {
-	case <-done:
-		t.Fatal("panicked caller produced a result")
-	default:
-	}
+	f()
+	return nil
 }

@@ -174,19 +174,14 @@ func MeterCurve(m meters.Meter, cfg serverless.Config, pressures []float64, opts
 	return c
 }
 
-// AllMeterCurves profiles the three meters.
+// AllMeterCurves profiles the three meters through the bounded pool,
+// one worker per meter.
 func AllMeterCurves(cfg serverless.Config, pressures []float64, opts Options) [3]*meters.Curve {
 	var out [3]*meters.Curve
-	var wg sync.WaitGroup
-	for _, m := range meters.All() {
-		m := m
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			out[m.Index] = MeterCurve(m, cfg, pressures, opts)
-		}()
-	}
-	wg.Wait()
+	ms := meters.All()
+	parallelFor(len(ms), len(ms), func(i int) {
+		out[ms[i].Index] = MeterCurve(ms[i], cfg, pressures, opts)
+	})
 	return out
 }
 
