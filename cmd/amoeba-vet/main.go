@@ -24,7 +24,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/amoeba-vet [-no-govet] [-suppressions] [packages]
+//	go run ./cmd/amoeba-vet [-no-govet] [-suppressions] [-stale] [packages]
 //
 // Packages default to ./... and accept the go tool's pattern syntax
 // restricted to this module. The exit status is non-zero when any
@@ -43,6 +43,19 @@
 // shardsafe records an audited boundary whose note says who vouches for
 // it. The inventory is the other half of the invariant contract: every
 // escape hatch and every trusted boundary must be listable in one pass.
+//
+// The -stale mode closes the loop on that inventory: it re-runs the
+// analyzers in audit mode, crediting every suppression annotation that
+// still suppresses a finding (//amoeba:allow, //amoeba:allowalloc) or
+// still shields one (//amoeba:shardsafe boundaries are walked through
+// to test whether anything behind them would fire), then reports the
+// remainder — annotations that no longer suppress anything and are dead
+// weight to delete. Test files are excluded from the stale inventory:
+// the analyzers never parse them, so their annotations cannot be
+// audited. Run -stale over the whole module (./...): an annotation is
+// credited by whichever pass reaches it, so narrowing the package set
+// can misreport live annotations as stale. CI gates on zero stale
+// markers.
 package main
 
 import (
@@ -91,6 +104,8 @@ func main() {
 	list := flag.Bool("list", false, "list the amoeba analyzers and exit")
 	suppressions := flag.Bool("suppressions", false,
 		"list every //amoeba:allow annotation with its reason; fail on missing reasons")
+	stale := flag.Bool("stale", false,
+		"audit suppression annotations against the analyzers and fail on ones that no longer suppress any finding")
 	flag.Parse()
 
 	if *list {
@@ -107,6 +122,14 @@ func main() {
 
 	if *suppressions {
 		if err := reportSuppressions(patterns); err != nil {
+			fmt.Fprintln(os.Stderr, "amoeba-vet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *stale {
+		if err := reportStale(patterns); err != nil {
 			fmt.Fprintln(os.Stderr, "amoeba-vet:", err)
 			os.Exit(2)
 		}

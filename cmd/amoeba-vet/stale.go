@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"amoeba/internal/analysis"
+)
+
+// staleEntry is one suppression annotation whose liveness the audit
+// checks: an //amoeba:allow <analyzer>, an //amoeba:allowalloc(reason),
+// or an //amoeba:shardsafe boundary.
+type staleEntry struct {
+	pos  token.Position
+	kind string
+}
+
+// reportStale re-runs the analyzers in audit mode over the selected
+// packages, collects the set of suppression annotations that still
+// suppress (or shield) at least one finding, and reports the inventory
+// remainder — annotations that have gone stale. A non-empty remainder
+// exits 1 so CI can gate on a clean inventory.
+//
+// The inventory covers only files the analyzers see: non-test Go files
+// of the selected packages. Declarative contract markers (//amoeba:shard,
+// //amoeba:bounded) are enforced, not suppressive, and are not audited.
+func reportStale(patterns []string) error {
+	modRoot, modPath, paths, err := modulePackages(patterns)
+	if err != nil {
+		return err
+	}
+	resolve := analysis.ModuleResolver(modRoot, modPath)
+	loader := analysis.NewLoader(resolve)
+	used, err := analysis.RunAudit(loader, paths, analyzers)
+	if err != nil {
+		return err
+	}
+	inventory, err := staleInventory(resolve, paths)
+	if err != nil {
+		return err
+	}
+	var stale []staleEntry
+	for _, s := range inventory {
+		if !used[s.pos.Filename][s.pos.Line] {
+			stale = append(stale, s)
+		}
+	}
+	for _, s := range stale {
+		fmt.Printf("%s:%d: stale %s: suppresses no current finding; delete it\n",
+			s.pos.Filename, s.pos.Line, s.kind)
+	}
+	fmt.Printf("%d annotation(s) audited, %d stale\n", len(inventory), len(stale))
+	if len(stale) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// staleInventory parses the non-test Go files of each package and
+// collects every suppression annotation, sorted by position.
+func staleInventory(resolve func(string) (string, bool), paths []string) ([]staleEntry, error) {
+	fset := token.NewFileSet()
+	var inventory []staleEntry
+	for _, path := range paths {
+		dir, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve package %q", path)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := fset.Position(c.Pos())
+					if aname, _, ok := analysis.ParseAllow(c.Text); ok {
+						inventory = append(inventory, staleEntry{pos: pos, kind: "//amoeba:allow " + aname})
+						continue
+					}
+					if _, ok := analysis.ParseAllowAlloc(c.Text); ok {
+						inventory = append(inventory, staleEntry{pos: pos, kind: "//amoeba:allowalloc"})
+						continue
+					}
+					if _, ok := markerNote(c.Text, analysis.AnnotShardSafe); ok {
+						inventory = append(inventory, staleEntry{pos: pos, kind: "//amoeba:shardsafe"})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(inventory, func(i, j int) bool {
+		a, b := inventory[i].pos, inventory[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return inventory, nil
+}

@@ -70,15 +70,17 @@ func run(pass *analysis.Pass) error {
 }
 
 // allowAllocLines maps each line covered by an //amoeba:allowalloc
-// annotation (its own line and the next, mirroring //amoeba:allow).
-func allowAllocLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	lines := make(map[int]bool)
+// annotation (its own line and the next, mirroring //amoeba:allow) to
+// the annotation comment's position, so a suppression can be credited
+// to the annotation that performed it (the -stale audit's used set).
+func allowAllocLines(fset *token.FileSet, f *ast.File) map[int]token.Pos {
+	lines := make(map[int]token.Pos)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if _, ok := analysis.ParseAllowAlloc(c.Text); ok {
 				line := fset.Position(c.Pos()).Line
-				lines[line] = true
-				lines[line+1] = true
+				lines[line] = c.Pos()
+				lines[line+1] = c.Pos()
 			}
 		}
 	}
@@ -107,11 +109,12 @@ func recvTypeName(e ast.Expr) string {
 type checker struct {
 	pass    *analysis.Pass
 	fn      string
-	allowed map[int]bool
+	allowed map[int]token.Pos
 }
 
 func (c *checker) report(pos token.Pos, format string, args ...any) {
-	if c.allowed[c.pass.Fset.Position(pos).Line] {
+	if apos, ok := c.allowed[c.pass.Fset.Position(pos).Line]; ok {
+		c.pass.UseAnnotation(apos)
 		return
 	}
 	args = append(args, c.fn)

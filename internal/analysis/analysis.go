@@ -68,22 +68,50 @@ type Pass struct {
 	// packages this one imports. Nil when the runner provides no loader.
 	Deps func(path string) (*Package, bool)
 
-	diags  []Diagnostic
-	allows map[string]map[int][]string // filename -> line -> allowed analyzer names
+	// Audit asks analyzers to probe suppressed territory instead of
+	// honouring it: shardsafe walks past //amoeba:shardsafe boundaries to
+	// test whether the marker still shields anything. Used by the
+	// amoeba-vet -stale driver; diagnostics reported in audit mode are
+	// discarded, only the used-annotation set matters.
+	Audit bool
+
+	diags    []Diagnostic
+	reported map[string]bool              // analyzer+pos+message dedup
+	allows   map[string]map[int][]allowAt // filename -> line -> covering annotations
+	used     map[token.Pos]bool           // annotation comments that suppressed (or still shield) a finding
+}
+
+// allowAt is one //amoeba:allow annotation projected onto a line it
+// covers: the suppressed analyzer name plus the comment's own position,
+// recorded so the -stale audit can tell live annotations from dead ones.
+type allowAt struct {
+	name string
+	pos  token.Pos
 }
 
 // Reportf records a finding at pos unless an //amoeba:allow annotation
-// covering pos names this analyzer.
+// covering pos names this analyzer. Exact duplicates (same analyzer,
+// position, and message — e.g. one callback registered twice) collapse
+// to a single diagnostic.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allowedAt(position, p.Analyzer.Name) {
 		return
 	}
-	p.diags = append(p.diags, Diagnostic{
+	d := Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	key := d.String()
+	if p.reported == nil {
+		p.reported = make(map[string]bool)
+	}
+	if p.reported[key] {
+		return
+	}
+	p.reported[key] = true
+	p.diags = append(p.diags, d)
 }
 
 // AllowedAt reports whether an //amoeba:allow annotation naming name (or
@@ -96,10 +124,10 @@ func (p *Pass) AllowedAt(pos token.Pos, name string) bool {
 
 func (p *Pass) allowedAt(pos token.Position, name string) bool {
 	if p.allows == nil {
-		p.allows = make(map[string]map[int][]string)
+		p.allows = make(map[string]map[int][]allowAt)
 		for _, f := range p.Files {
 			fname := p.Fset.Position(f.Pos()).Filename
-			lines := make(map[int][]string)
+			lines := make(map[int][]allowAt)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					name, _, ok := ParseAllow(c.Text)
@@ -109,19 +137,48 @@ func (p *Pass) allowedAt(pos token.Position, name string) bool {
 					// The annotation covers its own line (trailing
 					// comment) and the next line (comment-above form).
 					line := p.Fset.Position(c.Pos()).Line
-					lines[line] = append(lines[line], name)
-					lines[line+1] = append(lines[line+1], name)
+					at := allowAt{name: name, pos: c.Pos()}
+					lines[line] = append(lines[line], at)
+					lines[line+1] = append(lines[line+1], at)
 				}
 			}
 			p.allows[fname] = lines
 		}
 	}
-	for _, n := range p.allows[pos.Filename][pos.Line] {
-		if n == name || n == "all" {
+	for _, a := range p.allows[pos.Filename][pos.Line] {
+		if a.name == name || a.name == "all" {
+			p.UseAnnotation(a.pos)
 			return true
 		}
 	}
 	return false
+}
+
+// UseAnnotation records that the suppression annotation whose comment
+// starts at pos suppressed — or, in audit mode, still shields — a
+// finding. The -stale driver subtracts the used set from the annotation
+// inventory; whatever remains no longer suppresses anything.
+func (p *Pass) UseAnnotation(pos token.Pos) {
+	if p.used == nil {
+		p.used = make(map[token.Pos]bool)
+	}
+	p.used[pos] = true
+}
+
+// UsedAnnotations returns the positions of every annotation recorded by
+// UseAnnotation, resolved through the pass's file set.
+func (p *Pass) UsedAnnotations() []token.Position {
+	out := make([]token.Position, 0, len(p.used))
+	for pos := range p.used {
+		out = append(out, p.Fset.Position(pos))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Filename != out[j].Filename {
+			return out[i].Filename < out[j].Filename
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out
 }
 
 // ParseAllow parses an //amoeba:allow comment into the suppressed

@@ -177,6 +177,40 @@ func FuncMarked(fset *token.FileSet, file *ast.File, decl *ast.FuncDecl, marker 
 	return false
 }
 
+// FuncMarkerPos returns the position of the marker comment attached to
+// the function declaration (same attachment rule as FuncMarked), or
+// token.NoPos when the declaration does not carry the marker. The
+// position identifies the annotation itself, so audit drivers can credit
+// it as used.
+func FuncMarkerPos(fset *token.FileSet, file *ast.File, decl *ast.FuncDecl, marker string) token.Pos {
+	markerComment := func(cg *ast.CommentGroup) token.Pos {
+		if cg == nil {
+			return token.NoPos
+		}
+		for _, c := range cg.List {
+			if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+				return c.Pos()
+			}
+		}
+		return token.NoPos
+	}
+	if pos := markerComment(decl.Doc); pos != token.NoPos {
+		return pos
+	}
+	declLine := fset.Position(decl.Pos()).Line
+	for _, cg := range file.Comments {
+		pos := markerComment(cg)
+		if pos == token.NoPos {
+			continue
+		}
+		end := fset.Position(cg.End()).Line
+		if end == declLine-1 || end == declLine {
+			return pos
+		}
+	}
+	return token.NoPos
+}
+
 // TypeMarked reports whether the type declaration carries the marker,
 // either on the TypeSpec's own doc or on the enclosing GenDecl's doc
 // (`//amoeba:enum` above a single-spec `type Foo int` attaches to the

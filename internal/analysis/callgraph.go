@@ -12,8 +12,9 @@ import (
 // declarations once and memoizing nothing else, so analyzers keep their
 // own per-walk state (memo tables, cycle stacks) without sharing it.
 type Resolver struct {
-	pass  *Pass
-	decls map[*types.Package]map[*types.Func]*ast.FuncDecl
+	pass   *Pass
+	decls  map[*types.Package]map[*types.Func]*ast.FuncDecl
+	devirt *devirtIndex // lazily built by CalleeEdges (devirt.go)
 }
 
 // NewResolver returns a resolver over the pass's package and its loaded
@@ -26,28 +27,32 @@ func NewResolver(pass *Pass) *Resolver {
 }
 
 // FuncObj resolves an expression to a statically known function or
-// concrete-receiver method. Interface-dispatched methods resolve to nil:
-// dynamic dispatch is the documented blind spot of every call-graph
-// analyzer built on this resolver.
+// concrete-receiver method. Interface-dispatched methods resolve to nil
+// here; CalleeEdges devirtualizes them against the module-wide
+// class-hierarchy index (devirt.go). Instantiated generic functions and
+// methods normalize to their generic origin, so a call to helper[int]
+// resolves to the declaration of helper.
 func (r *Resolver) FuncObj(info *types.Info, e ast.Expr) *types.Func {
 	var id *ast.Ident
-	switch e := e.(type) {
+	switch e := unwrapCallee(e).(type) {
 	case *ast.Ident:
 		id = e
 	case *ast.SelectorExpr:
 		id = e.Sel
-	case *ast.ParenExpr:
-		return r.FuncObj(info, e.X)
 	default:
 		return nil
 	}
 	fn, ok := info.Uses[id].(*types.Func)
-	if !ok || fn.Pkg() == nil {
+	if !ok {
+		return nil
+	}
+	fn = fn.Origin()
+	if fn.Pkg() == nil {
 		return nil
 	}
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 		if types.IsInterface(sig.Recv().Type().Underlying()) {
-			return nil // dynamic dispatch: documented blind spot
+			return nil // dynamic dispatch: resolved by CalleeEdges instead
 		}
 	}
 	return fn

@@ -30,17 +30,27 @@
 // builds labels with Sprintf behind a telemetry-bus guard. alloccheck
 // separately flags them inside //amoeba:noalloc bodies.
 //
-// The walk follows calls it can resolve statically: package-level
+// The walk follows every edge the resolver can justify: package-level
 // functions and concrete-receiver methods of the analyzed package and of
 // its module-local dependencies (whose syntax the vet driver has already
-// loaded). Interface dispatch, func-valued variables, and calls into
-// packages without loaded syntax (the standard library) are not
-// followed — the forbidden table screens the stdlib surface directly,
-// and dynamic dispatch is the documented blind spot that the runtime
-// AllocsPerRun and golden-determinism tests backstop. Transitive
-// findings are reported at the call edge in the analyzed package with
-// the full chain in the message, so an //amoeba:allow hotpath
-// suppression sits next to code the package owns.
+// loaded), interface dispatch devirtualized against the module-wide
+// class-hierarchy index (narrowed to types actually instantiated or
+// address-taken — DESIGN.md §13), and calls through func-valued locals
+// whose binding set the intra-procedural tracking can prove complete.
+// Dynamic edges are named in the diagnostic chain, e.g. "via dynamic
+// dispatch on Sink.Consume => MetricsSink.Consume". Calls into packages
+// without loaded syntax (the standard library) are still not followed —
+// the forbidden table screens the stdlib surface directly — and
+// func-valued struct fields that escape the local scope remain the
+// residual documented gap that the runtime AllocsPerRun and
+// golden-determinism tests backstop.
+//
+// Transitive findings are reported at the call edge in the analyzed
+// package with the full chain in the message, so an //amoeba:allow
+// hotpath suppression can sit next to code the package owns; an
+// //amoeba:allow hotpath at the violating line itself — even inside a
+// walked dependency — suppresses the finding for every root that
+// reaches it, so one annotation at the origin covers the whole fan-in.
 package hotpath
 
 import (
@@ -63,6 +73,7 @@ func run(pass *analysis.Pass) error {
 	w := &walker{
 		pass:    pass,
 		resolve: analysis.NewResolver(pass),
+		allows:  analysis.NewAllowSites(pass.Fset),
 		memo:    make(map[*types.Func][]reach),
 	}
 	for _, f := range pass.Files {
@@ -88,8 +99,19 @@ type reach struct {
 type walker struct {
 	pass    *analysis.Pass
 	resolve *analysis.Resolver
+	allows  *analysis.AllowSites
 	memo    map[*types.Func][]reach
 	busy    []*types.Func // in-progress stack for cycle cut-off
+}
+
+// spliceVia rewrites a reach chain for a dynamic edge: the edge label
+// already names the callee the chain starts with, so it replaces the
+// chain's first element.
+func spliceVia(via string, chain []string) []string {
+	if via == "" {
+		return chain
+	}
+	return append([]string{via}, chain[1:]...)
 }
 
 // callbackRoots treats the function arguments of simulator scheduling
@@ -113,10 +135,20 @@ func (w *walker) callbackRoots(f *ast.File) {
 		case *ast.FuncLit:
 			w.reportRoot(arg.Body, "sim."+name+" callback")
 		default:
-			if fn := w.funcObj(arg); fn != nil {
-				for _, r := range w.analyze(fn) {
+			for _, edge := range w.resolve.FuncValueEdges(info, arg) {
+				if edge.Lit != nil {
+					// A literal bound to a local and scheduled by name:
+					// the literal's body is the callback.
+					w.reportRoot(edge.Lit.Body, "sim."+name+" callback")
+					continue
+				}
+				callee := analysis.FuncDisplayName(w.pass.Pkg, edge.Fn)
+				if edge.Via != "" {
+					callee = edge.Via
+				}
+				for _, r := range w.analyze(edge.Fn) {
 					w.pass.Reportf(arg.Pos(), "sim.%s callback %s reaches %s (%s) via %s",
-						name, analysis.FuncDisplayName(w.pass.Pkg, fn), r.api, r.why, strings.Join(r.chain, " -> "))
+						name, callee, r.api, r.why, strings.Join(spliceVia(edge.Via, r.chain), " -> "))
 				}
 			}
 		}
@@ -140,10 +172,13 @@ func (w *walker) reportRoot(body *ast.BlockStmt, root string) {
 			w.pass.Reportf(call.Pos(), "hot path %s calls %s (%s)", root, api, why)
 			return true
 		}
-		if fn := w.funcObj(call.Fun); fn != nil {
-			for _, r := range w.analyze(fn) {
+		for _, edge := range w.resolve.CalleeEdges(info, call) {
+			if edge.Lit != nil {
+				continue // literal bound to a local: its body is walked inline
+			}
+			for _, r := range w.analyze(edge.Fn) {
 				w.pass.Reportf(call.Pos(), "hot path %s reaches %s (%s) via %s",
-					root, r.api, r.why, strings.Join(r.chain, " -> "))
+					root, r.api, r.why, strings.Join(spliceVia(edge.Via, r.chain), " -> "))
 			}
 		}
 		return true
@@ -170,6 +205,7 @@ func (w *walker) analyze(fn *types.Func) []reach {
 	defer func() { w.busy = w.busy[:len(w.busy)-1] }()
 
 	info := w.resolve.InfoOf(pkg)
+	file := w.resolve.FileOf(pkg, decl)
 	self := analysis.FuncDisplayName(w.pass.Pkg, fn)
 	var out []reach
 	seen := make(map[string]bool)
@@ -184,25 +220,30 @@ func (w *walker) analyze(fn *types.Func) []reach {
 		if !ok {
 			return true
 		}
+		// An //amoeba:allow hotpath at the violating line inside a
+		// walked body suppresses the finding for every root that
+		// reaches it: one annotation at the origin, not one per edge.
+		if pos, ok := w.allows.Covering(file, call.Pos(), w.pass.Analyzer.Name); ok {
+			w.pass.UseAnnotation(pos)
+			return true
+		}
 		if api, why, ok := forbiddenAPI(info, call); ok {
 			add(reach{api: api, why: why, chain: []string{self}})
 			return true
 		}
-		if callee := w.resolve.FuncObj(info, call.Fun); callee != nil {
-			for _, r := range w.analyze(callee) {
-				add(reach{api: r.api, why: r.why, chain: append([]string{self}, r.chain...)})
+		for _, edge := range w.resolve.CalleeEdges(info, call) {
+			if edge.Lit != nil {
+				continue // literal bound to a local: its body is walked inline
+			}
+			for _, r := range w.analyze(edge.Fn) {
+				add(reach{api: r.api, why: r.why,
+					chain: append([]string{self}, spliceVia(edge.Via, r.chain)...)})
 			}
 		}
 		return true
 	})
 	w.memo[fn] = out
 	return out
-}
-
-// funcObj resolves an expression in the analyzed package to a
-// statically known function or concrete method.
-func (w *walker) funcObj(e ast.Expr) *types.Func {
-	return w.resolve.FuncObj(w.pass.TypesInfo, e)
 }
 
 // forbiddenAPI classifies a call against the forbidden-API table.

@@ -1,0 +1,7 @@
+// Package hotiface declares an interface whose implementers live in a
+// sibling package, so devirtualization must resolve through the
+// dependency loader.
+package hotiface
+
+// Sink consumes one event.
+type Sink interface{ Emit() }

@@ -1,0 +1,19 @@
+// Package hotimpl implements hotiface.Sink with file I/O, giving the
+// cross-package dispatch a forbidden API to reach.
+package hotimpl
+
+import (
+	"os"
+
+	"hotiface"
+)
+
+// FileSink does file I/O on every emit.
+type FileSink struct{}
+
+// Emit opens a file.
+func (FileSink) Emit() { _, _ = os.Create("out") }
+
+// New returns the sink behind the interface, instantiating FileSink so
+// the live-type index sees it.
+func New() hotiface.Sink { return FileSink{} }

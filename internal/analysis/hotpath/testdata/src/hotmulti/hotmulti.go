@@ -1,0 +1,18 @@
+// Package hotmulti exercises cross-package devirtualization for
+// hotpath: the interface lives in hotiface, its live implementer in
+// hotimpl, and the dispatch resolves through the Deps loader.
+package hotmulti
+
+import (
+	"hotiface"
+	"hotimpl"
+)
+
+var keep = hotimpl.New()
+
+// Drain dispatches into the implementing package.
+//
+//amoeba:hotpath
+func Drain(s hotiface.Sink) {
+	s.Emit() // want `hot path Drain reaches os\.Create \(file I/O in the event loop\) via dynamic dispatch on hotiface\.Sink\.Emit => hotimpl\.FileSink\.Emit`
+}

@@ -1,7 +1,8 @@
 // Package hotuser exercises hotpath: forbidden APIs reachable from
 // annotated functions and simulator callbacks are flagged at the call
-// edge; pure formatting, seeded generators, and dynamic dispatch are
-// not.
+// edge — including through devirtualized interface dispatch and
+// func-valued locals — while pure formatting, seeded generators, and
+// dispatch on interfaces with no live implementer are not.
 package hotuser
 
 import (
@@ -88,15 +89,137 @@ func ScheduleMethod(s *sim.Simulator, t *ticker) {
 	s.At(1, t.fire) // want `sim\.At callback ticker\.fire reaches sync\.Mutex\.Lock \(blocking in the single-threaded kernel\) via ticker\.fire`
 }
 
-// doer models dynamic dispatch, the documented blind spot.
+// doer models dispatch with no live implementer: quietDoer is declared
+// but never instantiated, so the RTA narrowing keeps the dispatch
+// edgeless (plain class-hierarchy analysis would have flagged it).
 type doer interface{ Do() }
 
-// Dynamic cannot be followed through the interface.
+type quietDoer struct{}
+
+func (quietDoer) Do() { _ = time.Now() }
+
+// Dynamic stays quiet: no instantiated type implements doer.
 //
 //amoeba:hotpath
 func Dynamic(d doer) {
 	d.Do()
 }
+
+// emitter has exactly one live implementer, so dispatch devirtualizes.
+type emitter interface{ Emit() }
+
+type loudEmitter struct{}
+
+func (loudEmitter) Emit() { fmt.Println("emit") }
+
+// newEmitter instantiates loudEmitter, making it live for the index.
+func newEmitter() emitter { return loudEmitter{} }
+
+// Dispatch resolves the interface call against the live implementer.
+//
+//amoeba:hotpath
+func Dispatch(e emitter) {
+	e.Emit() // want `hot path Dispatch reaches fmt\.Println \(writer I/O in the event loop\) via dynamic dispatch on emitter\.Emit => loudEmitter\.Emit`
+}
+
+// FuncValue calls through a local bound to a named function.
+//
+//amoeba:hotpath
+func FuncValue() int64 {
+	f := stamp
+	return f() // want `hot path FuncValue reaches time\.Now \(wall clock in simulated time\) via func value f => stamp`
+}
+
+// AliasValue follows a local alias chain to the binding.
+//
+//amoeba:hotpath
+func AliasValue() int64 {
+	f := stamp
+	g := f
+	return g() // want `hot path AliasValue reaches time\.Now \(wall clock in simulated time\) via func value g => stamp`
+}
+
+// BoundMethod calls through a local bound to a method value.
+//
+//amoeba:hotpath
+func BoundMethod(t *ticker) {
+	g := t.fire
+	g() // want `hot path BoundMethod reaches sync\.Mutex\.Lock \(blocking in the single-threaded kernel\) via func value g => ticker\.fire`
+}
+
+// ParamValue calls through a parameter: the binding set is unknowable,
+// so the tracking abandons the variable instead of guessing.
+//
+//amoeba:hotpath
+func ParamValue(f func() int64) int64 {
+	return f()
+}
+
+// Retargeted loses the binding the moment the variable's address
+// escapes; no resolution, no finding.
+//
+//amoeba:hotpath
+func Retargeted() int64 {
+	f := stamp
+	retarget(&f)
+	return f()
+}
+
+func retarget(p *func() int64) { _ = p }
+
+// SchedulePoll binds a literal to a local and schedules it by name; the
+// literal's body roots through the binding (both registrations resolve
+// to the same body, deduplicated).
+func SchedulePoll(s *sim.Simulator) {
+	var poll func()
+	poll = func() {
+		_ = time.Now() // want `hot path sim\.After callback calls time\.Now \(wall clock in simulated time\)`
+		s.After(1, poll)
+	}
+	s.After(2, poll)
+}
+
+// stampAll is a generic helper; calls to an instantiation must resolve
+// to its origin declaration or the edge is silently lost.
+func stampAll[T any](v T) int64 {
+	_ = v
+	return time.Now().UnixNano()
+}
+
+// Generic calls an explicit instantiation.
+//
+//amoeba:hotpath
+func Generic() int64 {
+	return stampAll[int](1) // want `hot path Generic reaches time\.Now \(wall clock in simulated time\) via stampAll`
+}
+
+// box carries a method on a generic type.
+type box[T any] struct{ v T }
+
+func (b *box[T]) stampIt() int64 {
+	_ = b.v
+	return time.Now().UnixNano()
+}
+
+// GenericMethod calls a method of an instantiated generic type.
+//
+//amoeba:hotpath
+func GenericMethod(b *box[int]) int64 {
+	return b.stampIt() // want `hot path GenericMethod reaches time\.Now \(wall clock in simulated time\) via box\.stampIt`
+}
+
+// guarded holds a deliberate wall-clock read behind one origin-line
+// annotation: every root that reaches it stays quiet.
+func guarded() int64 {
+	//amoeba:allow hotpath deliberate coarse timestamp, annotated once at the origin
+	return time.Now().UnixNano()
+}
+
+//amoeba:hotpath
+func UsesGuardedA() int64 { return guarded() }
+
+//amoeba:hotpath
+func UsesGuardedB() int64 { return guarded() }
 
 // Allowed documents a deliberate wall-clock read.
 //

@@ -183,3 +183,40 @@ func Run(loader *Loader, paths []string, analyzers []*Analyzer) ([]Diagnostic, e
 	sortDiagnostics(diags)
 	return diags, nil
 }
+
+// RunAudit loads each package and applies each analyzer in audit mode,
+// returning the (filename, line) set of every suppression annotation
+// that suppressed — or, for //amoeba:shardsafe boundaries, still
+// shields — a finding. Diagnostics are discarded: the audit only
+// answers which annotations are still live, so the -stale driver can
+// report the inventory remainder as dead weight.
+func RunAudit(loader *Loader, paths []string, analyzers []*Analyzer) (map[string]map[int]bool, error) {
+	used := make(map[string]map[int]bool)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      loader.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Deps:      loader.Loaded,
+				Audit:     true,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, path, err)
+			}
+			for _, p := range pass.UsedAnnotations() {
+				if used[p.Filename] == nil {
+					used[p.Filename] = make(map[int]bool)
+				}
+				used[p.Filename][p.Line] = true
+			}
+		}
+	}
+	return used, nil
+}

@@ -23,17 +23,29 @@
 // A call into a function annotated //amoeba:shardsafe is trusted and not
 // walked: the annotation marks an audited concurrency-safe API boundary
 // (the experiments singleflight memo is the canonical example — shared
-// state by design, internally synchronised, named in DESIGN.md §12).
-// Calls the walk cannot resolve — interface dispatch, func values, and
-// standard-library internals — are the documented blind spots, backed
-// at runtime by the -race suite over the same drivers. Transitive
-// findings are reported at the call edge in the analyzed package with
-// the chain in the message, so an //amoeba:allow shardsafe suppression
-// sits next to code the package owns.
+// state by design, internally synchronised, named in DESIGN.md §12). In
+// audit mode (amoeba-vet -stale) the walk continues past the boundary
+// just far enough to check the marker still shields a real violation;
+// findings behind a live boundary are still trusted and never reported.
+//
+// The walk resolves every edge the shared resolver can justify:
+// statically bound calls, interface dispatch devirtualized against the
+// module-wide class-hierarchy index (DESIGN.md §13), and calls through
+// func-valued locals with a provably complete binding set — dynamic
+// edges are named in the chain ("via dynamic dispatch on ... => ...").
+// Standard-library internals and func-valued struct fields that escape
+// the local scope remain the residual documented gaps, backed at
+// runtime by the -race suite over the same drivers. Transitive findings
+// are reported at the call edge in the analyzed package with the chain
+// in the message, so an //amoeba:allow shardsafe suppression can sit
+// next to code the package owns; an //amoeba:allow shardsafe at the
+// violating line itself — even inside a walked dependency — suppresses
+// the finding for every root that reaches it.
 package shardsafe
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -54,6 +66,7 @@ func run(pass *analysis.Pass) error {
 	w := &walker{
 		pass:    pass,
 		resolve: analysis.NewResolver(pass),
+		allows:  analysis.NewAllowSites(pass.Fset),
 		memo:    make(map[*types.Func][]finding),
 	}
 	for _, f := range pass.Files {
@@ -74,8 +87,19 @@ type finding struct {
 type walker struct {
 	pass    *analysis.Pass
 	resolve *analysis.Resolver
+	allows  *analysis.AllowSites
 	memo    map[*types.Func][]finding
 	busy    []*types.Func // in-progress stack for cycle cut-off
+}
+
+// spliceVia rewrites a finding chain for a dynamic edge: the edge label
+// already names the callee the chain starts with, so it replaces the
+// chain's first element.
+func spliceVia(via string, chain []string) []string {
+	if via == "" {
+		return chain
+	}
+	return append([]string{via}, chain[1:]...)
 }
 
 // reportRoot walks one //amoeba:shard declaration, reporting direct
@@ -92,10 +116,13 @@ func (w *walker) reportRoot(file *ast.File, fd *ast.FuncDecl) {
 			return true
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if fn := w.resolve.FuncObj(info, call.Fun); fn != nil {
-				for _, f := range w.analyze(fn) {
+			for _, edge := range w.resolve.CalleeEdges(info, call) {
+				if edge.Lit != nil {
+					continue // literal bound to a local: its body is walked inline
+				}
+				for _, f := range w.analyze(edge.Fn) {
 					w.pass.Reportf(call.Pos(), "shard worker %s reaches code that %s via %s",
-						root, f.desc, strings.Join(f.chain, " -> "))
+						root, f.desc, strings.Join(spliceVia(edge.Via, f.chain), " -> "))
 				}
 			}
 		}
@@ -118,10 +145,14 @@ func (w *walker) analyze(fn *types.Func) []finding {
 	decl, pkg := w.resolve.DeclOf(fn)
 	if decl == nil || decl.Body == nil {
 		w.memo[fn] = nil
-		return nil // no syntax: stdlib blind spot, screened by violation()
+		return nil // no syntax: stdlib gap, screened by violationDesc
 	}
-	if file := w.resolve.FileOf(pkg, decl); file != nil &&
-		analysis.FuncMarked(w.pass.Fset, file, decl, analysis.AnnotShardSafe) {
+	file := w.resolve.FileOf(pkg, decl)
+	boundary := token.NoPos
+	if file != nil {
+		boundary = analysis.FuncMarkerPos(w.pass.Fset, file, decl, analysis.AnnotShardSafe)
+	}
+	if boundary != token.NoPos && !w.pass.Audit {
 		w.memo[fn] = nil // audited concurrency-safe boundary
 		return nil
 	}
@@ -139,19 +170,41 @@ func (w *walker) analyze(fn *types.Func) []finding {
 		}
 	}
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		// An //amoeba:allow shardsafe at the violating line inside a
+		// walked body suppresses the finding for every root that
+		// reaches it: one annotation at the origin, not one per edge.
+		if pos, ok := w.allows.Covering(file, n.Pos(), w.pass.Analyzer.Name); ok {
+			w.pass.UseAnnotation(pos)
+			return true
+		}
 		if desc, ok := violationDesc(info, decl, n); ok {
 			add(finding{desc: desc, chain: []string{self}})
 			return true
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if callee := w.resolve.FuncObj(info, call.Fun); callee != nil {
-				for _, f := range w.analyze(callee) {
-					add(finding{desc: f.desc, chain: append([]string{self}, f.chain...)})
+			for _, edge := range w.resolve.CalleeEdges(info, call) {
+				if edge.Lit != nil {
+					continue // literal bound to a local: its body is walked inline
+				}
+				for _, f := range w.analyze(edge.Fn) {
+					add(finding{desc: f.desc, chain: append([]string{self}, spliceVia(edge.Via, f.chain)...)})
 				}
 			}
 		}
 		return true
 	})
+	if boundary != token.NoPos {
+		// Audit mode walked past the boundary only to test its liveness:
+		// a non-empty subtree means the marker still shields something.
+		if len(out) > 0 {
+			w.pass.UseAnnotation(boundary)
+		}
+		w.memo[fn] = nil
+		return nil
+	}
 	w.memo[fn] = out
 	return out
 }

@@ -1,0 +1,7 @@
+// Package shardiface declares an interface whose implementers live in a
+// sibling package, so devirtualization must resolve through the
+// dependency loader.
+package shardiface
+
+// Store accepts per-shard results.
+type Store interface{ Put(x int) }

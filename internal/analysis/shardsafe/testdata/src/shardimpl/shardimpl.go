@@ -1,0 +1,18 @@
+// Package shardimpl implements shardiface.Store against package-level
+// state, giving the cross-package dispatch a violation to reach.
+package shardimpl
+
+import "shardiface"
+
+// Total is package-level mutable state two shards would race on.
+var Total int
+
+// GlobalStore writes the package-level total.
+type GlobalStore struct{}
+
+// Put accumulates into the shared total.
+func (GlobalStore) Put(x int) { Total += x }
+
+// New returns the store behind the interface, instantiating GlobalStore
+// so the live-type index sees it.
+func New() shardiface.Store { return GlobalStore{} }

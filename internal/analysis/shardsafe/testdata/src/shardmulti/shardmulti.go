@@ -1,0 +1,20 @@
+// Package shardmulti exercises cross-package devirtualization for
+// shardsafe: the interface lives in shardiface, its live implementer in
+// shardimpl, and the dispatch resolves through the Deps loader.
+package shardmulti
+
+import (
+	"shardiface"
+	"shardimpl"
+)
+
+var keep = shardimpl.New()
+
+// Worker dispatches into the implementing package.
+//
+//amoeba:shard
+func Worker(jobs <-chan int, s shardiface.Store) {
+	for j := range jobs {
+		s.Put(j) // want `shard worker Worker reaches code that writes package-level Total via dynamic dispatch on shardiface\.Store\.Put => shardimpl\.GlobalStore\.Put`
+	}
+}

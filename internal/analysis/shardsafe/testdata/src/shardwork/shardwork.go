@@ -124,6 +124,37 @@ func Allowed(jobs <-chan int) {
 	}
 }
 
+// mutator models interface dispatch into shared state.
+type mutator interface{ Mutate() }
+
+type globalMutator struct{}
+
+func (globalMutator) Mutate() { counter++ }
+
+// defaultMutator instantiates globalMutator, making it live for the
+// devirtualization index.
+var defaultMutator mutator = globalMutator{}
+
+// DispatchShard reaches the package-level write through devirtualized
+// interface dispatch.
+//
+//amoeba:shard
+func DispatchShard(jobs <-chan int, m mutator) {
+	for range jobs {
+		m.Mutate() // want `shard worker DispatchShard reaches code that writes package-level counter via dynamic dispatch on mutator\.Mutate => globalMutator\.Mutate`
+	}
+}
+
+// FuncValueShard reaches the write through a func-valued local.
+//
+//amoeba:shard
+func FuncValueShard(jobs <-chan int) {
+	f := bump
+	for j := range jobs {
+		f(j) // want `shard worker FuncValueShard reaches code that writes package-level counter via func value f => bump`
+	}
+}
+
 // NotAShard is unannotated: shardsafe roots nowhere here, so the write
 // is another analyzer's business.
 func NotAShard() {

@@ -81,6 +81,7 @@ func Labeled(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
+		//amoeba:allow hotpath Fprintf targets an in-memory strings.Builder: pure formatting, not writer I/O
 		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
 	}
 	b.WriteByte('}')

@@ -256,7 +256,6 @@ func (p *Platform) Register(profile workload.Profile, onComplete func(metrics.Qu
 	}
 	nMax, err := queueing.MaxContainers(p.cfg.Delta, p.usableMemMB(), p.cfg.ContainerMemMB)
 	if err != nil {
-		//amoeba:allow panic Config.Validate bounded Delta and ContainerMemMB in New
 		panic(err)
 	}
 	execMu, execSigma := lognormalParams(profile.ExecTime, profile.ExecCV)

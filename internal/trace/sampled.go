@@ -126,7 +126,6 @@ func Resample(tr Trace, from, to float64, n int) *Sampled {
 	}
 	s, err := NewSampled(times, rates)
 	if err != nil {
-		//amoeba:allow panic unreachable: the grid built above is strictly increasing
 		panic(err)
 	}
 	return s

@@ -94,7 +94,6 @@ func (q QPS) InWindow(t Seconds) float64 { return float64(q) * float64(t) }
 // and callers obtain q from validated configuration.
 func (q QPS) Period() Seconds {
 	if q <= 0 {
-		//amoeba:allow panic validated configs keep probing rates positive
 		panic("units: Period of non-positive QPS")
 	}
 	return Seconds(1 / float64(q))
@@ -105,7 +104,6 @@ func (q QPS) Period() Seconds {
 // controller's own prediction pipeline, never taken from user input.
 func (mu ServiceRate) ServiceTime() Seconds {
 	if mu <= 0 {
-		//amoeba:allow panic the prediction pipeline yields positive rates
 		panic("units: ServiceTime of non-positive service rate")
 	}
 	return Seconds(1 / float64(mu))
