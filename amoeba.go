@@ -239,6 +239,17 @@ type (
 	DecisionEvent = obs.DecisionEvent
 	// SwitchSpan is one deploy-mode transition with per-phase durations.
 	SwitchSpan = obs.SwitchSpan
+	// TraceID identifies one causal tree in the event stream (0 =
+	// untraced); SpanID one span within a run. Every traced run's JSONL
+	// stream is a reconstructable DAG over these.
+	TraceID = obs.TraceID
+	// SpanID identifies one span (interval or instant) in the stream.
+	SpanID = obs.SpanID
+	// TracePhase names the typed query/control phases (queue wait, cold
+	// start, exec, drain, retry) a PhaseSpan records.
+	TracePhase = obs.Phase
+	// PhaseSpan is one closed phase interval of a traced query or switch.
+	PhaseSpan = obs.PhaseSpan
 )
 
 // The event taxonomy (EventRing.Filter keys).
@@ -249,6 +260,16 @@ const (
 	KindSwitchSpan    = obs.KindSwitchSpan
 	KindHeartbeat     = obs.KindHeartbeat
 	KindMeterSample   = obs.KindMeterSample
+	KindPhaseSpan     = obs.KindPhaseSpan
+)
+
+// The trace-phase taxonomy (PhaseSpan.Phase values).
+const (
+	PhaseQueueWait = obs.PhaseQueueWait
+	PhaseColdStart = obs.PhaseColdStart
+	PhaseExec      = obs.PhaseExec
+	PhaseDrain     = obs.PhaseDrain
+	PhaseRetry     = obs.PhaseRetry
 )
 
 // NewEventBus returns an empty telemetry bus.

@@ -505,6 +505,24 @@ func BenchmarkEventEmit(b *testing.B) {
 			mkEvent(bus, i)
 		}
 	})
+	b.Run("span-no-sink", func(b *testing.B) {
+		// The causal-tracing analogue of no-sink: a full query span cycle
+		// (trace allocation, Begin, End) against a sinkless tracer must
+		// stay allocation-free — tracing off costs one branch per site.
+		tr := obs.NewTracer(nil)
+		cycle := func() {
+			qt := tr.StartQuery("dd")
+			h := tr.Begin(1, qt.Trace, qt.Span, 0, obs.PhaseExec, "dd", "serverless")
+			tr.End(2, h)
+		}
+		if avg := testing.AllocsPerRun(1000, cycle); avg != 0 {
+			b.Fatalf("unobserved span cycle allocates %.1f objects; the guard must be free", avg)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cycle()
+		}
+	})
 }
 
 // BenchmarkHistogramVsSample compares the bounded log-linear histogram

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"amoeba/internal/metrics"
+	"amoeba/internal/obs"
+	"amoeba/internal/units"
+)
+
+// Chrome trace-event export (the JSON flavour Perfetto's UI loads
+// directly). The mapping:
+//
+//	service  → process (pid ≥ 1, sorted by name; pid 0 is "platform")
+//	backend  → thread (1 iaas, 2 serverless, 3 control plane)
+//	interval → "X" complete event (ts/dur in microseconds)
+//	instant  → "i" instant event (decisions, cold starts, heartbeats)
+//	pressure → "C" counter event on the platform process
+//
+// Trace coordinates ride in args, so a span click in the UI shows the
+// causal edges the validator checked.
+
+// traceEvent is one entry of the trace-event JSON array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Thread IDs within each service process.
+const (
+	tidIaaS       = 1
+	tidServerless = 2
+	tidControl    = 3
+)
+
+// backendTID maps a span's backend label to its thread lane; spans with
+// no backend (control-plane activity) land on the control lane.
+func backendTID(backend string) int {
+	switch backend {
+	case metrics.BackendIaaS.String():
+		return tidIaaS
+	case metrics.BackendServerless.String():
+		return tidServerless
+	default:
+		return tidControl
+	}
+}
+
+// perfettoExporter buffers validated events and renders them to a
+// trace-event JSON file.
+type perfettoExporter struct {
+	events  []obs.Event
+	emitted int
+}
+
+// visit buffers one validated event (the validateStream visitor).
+func (p *perfettoExporter) visit(ev obs.Event) { p.events = append(p.events, ev) }
+
+// us converts a sim instant to trace-event microseconds.
+func us(s units.Seconds) float64 { return s.Raw() * 1e6 }
+
+// spanArgs builds the args block carrying the causal coordinates.
+func spanArgs(trace obs.TraceID, span, parent, cause obs.SpanID) map[string]any {
+	a := map[string]any{}
+	if trace != 0 {
+		a["trace"] = uint64(trace)
+	}
+	if span != 0 {
+		a["span"] = uint64(span)
+	}
+	if parent != 0 {
+		a["parent"] = uint64(parent)
+	}
+	if cause != 0 {
+		a["cause"] = uint64(cause)
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	return a
+}
+
+// render lays the buffered events out as trace events: metadata first
+// (stable pid assignment by sorted service name), then the stream in
+// its original order — the export of a deterministic run is itself
+// deterministic.
+func (p *perfettoExporter) render() []traceEvent {
+	services := map[string]int{}
+	for _, ev := range p.events {
+		name := ""
+		switch e := ev.(type) {
+		case *obs.QueryComplete:
+			name = e.Service
+		case *obs.ColdStart:
+			name = e.Service
+		case *obs.DecisionEvent:
+			name = e.Service
+		case *obs.SwitchSpan:
+			name = e.Service
+		case *obs.HeartbeatSample:
+			name = e.Service
+		case *obs.PhaseSpan:
+			name = e.Service
+		case *obs.MeterSample:
+			// Platform-scoped: rendered as a counter on pid 0.
+		}
+		if name != "" {
+			services[name] = 0
+		}
+	}
+	names := make([]string, 0, len(services))
+	for name := range services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		services[name] = i + 1 // pid 0 is the platform process
+	}
+
+	var out []traceEvent
+	meta := func(pid int, key, name string) {
+		out = append(out, traceEvent{
+			Name: key, Ph: "M", Pid: pid, Args: map[string]any{"name": name},
+		})
+	}
+	meta(0, "process_name", "platform")
+	for _, name := range names {
+		pid := services[name]
+		meta(pid, "process_name", name)
+		out = append(out, traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidIaaS,
+			Args: map[string]any{"name": "iaas"}})
+		out = append(out, traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidServerless,
+			Args: map[string]any{"name": "serverless"}})
+		out = append(out, traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidControl,
+			Args: map[string]any{"name": "control"}})
+	}
+
+	for _, ev := range p.events {
+		switch e := ev.(type) {
+		case *obs.QueryComplete:
+			out = append(out, traceEvent{
+				Name: "query", Ph: "X", Ts: us(e.Arrived), Dur: us(e.At - e.Arrived),
+				Pid: services[e.Service], Tid: backendTID(e.Backend),
+				Args: spanArgs(e.Trace, e.Span, 0, e.Cause),
+			})
+		case *obs.PhaseSpan:
+			out = append(out, traceEvent{
+				Name: string(e.Phase), Ph: "X", Ts: us(e.Start), Dur: us(e.End - e.Start),
+				Pid: services[e.Service], Tid: backendTID(e.Backend),
+				Args: spanArgs(e.Trace, e.Span, e.Parent, e.Cause),
+			})
+		case *obs.SwitchSpan:
+			args := spanArgs(e.Trace, e.Span, 0, e.Decision)
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["from"], args["to"], args["aborted"] = e.From, e.To, e.Aborted
+			out = append(out, traceEvent{
+				Name: "switch " + e.From + "→" + e.To, Ph: "X",
+				Ts: us(e.Start), Dur: us(e.End - e.Start),
+				Pid: services[e.Service], Tid: tidControl, Args: args,
+			})
+		case *obs.DecisionEvent:
+			args := spanArgs(e.Trace, e.Span, 0, e.MeterSpan)
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["reason"] = e.Reason
+			out = append(out, traceEvent{
+				Name: "decision: " + e.Verdict, Ph: "i", Ts: us(e.At),
+				Pid: services[e.Service], Tid: tidControl, S: "t", Args: args,
+			})
+		case *obs.ColdStart:
+			name := "cold_start"
+			if e.Prewarm {
+				name = "prewarm"
+			}
+			out = append(out, traceEvent{
+				Name: name, Ph: "i", Ts: us(e.At),
+				Pid: services[e.Service], Tid: tidServerless, S: "t",
+				Args: map[string]any{"delay_s": e.Delay.Raw()},
+			})
+		case *obs.HeartbeatSample:
+			out = append(out, traceEvent{
+				Name: "heartbeat", Ph: "i", Ts: us(e.At),
+				Pid: services[e.Service], Tid: tidControl, S: "t",
+				Args: spanArgs(e.Trace, e.Span, 0, e.MeterSpan),
+			})
+		case *obs.MeterSample:
+			out = append(out, traceEvent{
+				Name: "pressure", Ph: "C", Ts: us(e.At), Pid: 0,
+				Args: map[string]any{
+					"cpu": e.Pressure[0], "io": e.Pressure[1], "net": e.Pressure[2],
+				},
+			})
+		}
+	}
+	return out
+}
+
+// writeFile renders the export and writes the JSON object wrapper.
+func (p *perfettoExporter) writeFile(path string) error {
+	events := p.render()
+	p.emitted = len(events)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(map[string]any{"traceEvents": events}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// checkPerfettoFile structurally checks an exported trace: the wrapper
+// shape, a non-empty event array, known phase letters, non-negative
+// durations, and a process_name for every referenced pid — enough to
+// catch a broken export in CI without a UI.
+func checkPerfettoFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var wrapper struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &wrapper); err != nil {
+		return fmt.Errorf("not a trace-event JSON object: %v", err)
+	}
+	if len(wrapper.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents array")
+	}
+	named := map[int]bool{}
+	pids := map[int]bool{}
+	for i, ev := range wrapper.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				return fmt.Errorf("event %d (%q): negative duration %g", i, ev.Name, ev.Dur)
+			}
+			pids[ev.Pid] = true
+		case "M":
+			if ev.Name == "process_name" {
+				named[ev.Pid] = true
+			}
+		case "i", "C":
+			pids[ev.Pid] = true
+		default:
+			return fmt.Errorf("event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	for pid := range pids {
+		if !named[pid] {
+			return fmt.Errorf("pid %d has events but no process_name metadata", pid)
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"amoeba/internal/metrics"
 	"amoeba/internal/monitor"
+	"amoeba/internal/obs"
 	"amoeba/internal/queueing"
 	"amoeba/internal/surfaces"
 	"amoeba/internal/units"
@@ -205,6 +206,11 @@ type Decision struct {
 	// that produced it — the decision-audit trail's payload.
 	Verdict Verdict
 	Reason  string
+	// Trace/Span address the decision as an instant span in the causal
+	// trace; the switch span it orders points back at Span. Zero when
+	// the run is untraced.
+	Trace obs.TraceID
+	Span  obs.SpanID
 }
 
 // Verdict classifies the outcome of one decision period. The set is
@@ -245,6 +251,7 @@ type Controller struct {
 	loadEWMA  units.QPS
 	loadInit  bool
 	mode      metrics.Backend
+	tracer    *obs.Tracer
 	decisions []Decision
 }
 
@@ -284,6 +291,11 @@ func (c *Controller) Mode() metrics.Backend { return c.mode }
 // SetMode overrides the tracked mode (the engine confirms transitions).
 func (c *Controller) SetMode(m metrics.Backend) { c.mode = m }
 
+// SetTracer attaches the causal tracer; every decision then carries a
+// fresh trace and span ID. A nil tracer (the default) leaves decisions
+// untraced.
+func (c *Controller) SetTracer(t *obs.Tracer) { c.tracer = t }
+
 // Decide runs one decision period. postSwitchPressure predicts the
 // platform pressure if this service's serverless demand were added — the
 // runtime computes it from the service's demand vector and the monitor's
@@ -299,6 +311,7 @@ func (c *Controller) Decide(now units.Seconds, w monitor.Weights, pressure [3]fl
 	d := Decision{
 		At: now, LoadQPS: c.loadEWMA, AdmissibleQPS: adm, Mu: mu,
 		Pressure: pressure, WeightsLearned: w.Learned, Target: c.mode,
+		Trace: c.tracer.StartTrace(), Span: c.tracer.NextSpan(),
 	}
 	switch c.mode {
 	case metrics.BackendIaaS:

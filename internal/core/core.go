@@ -190,9 +190,16 @@ func Run(sc Scenario) *Result {
 	slCfg := sc.serverlessConfig()
 	pool := serverless.New(s, slCfg)
 	vms := iaas.New(s, sc.iaasConfig())
+	// One tracer per run: trace/span IDs are dense counters, so two runs
+	// of the same seed produce byte-identical trace streams even when a
+	// sweep executes runs in parallel.
+	var tracer *obs.Tracer
 	if sc.Bus != nil {
+		tracer = obs.NewTracer(sc.Bus)
 		pool.SetBus(sc.Bus)
+		pool.SetTracer(tracer)
 		vms.SetBus(sc.Bus)
+		vms.SetTracer(tracer)
 	}
 
 	res := &Result{
@@ -221,6 +228,7 @@ func Run(sc Scenario) *Result {
 		mon = monitor.New(s, pool, MeterCurves(slCfg), monCfg)
 		if sc.Bus != nil {
 			mon.SetBus(sc.Bus)
+			mon.SetTracer(tracer)
 		}
 		mon.Start()
 	}
@@ -291,6 +299,8 @@ func Run(sc Scenario) *Result {
 			w.eng = engine.New(s, pool, vms, prof, ctrl, mon, engCfg)
 			if sc.Bus != nil {
 				w.eng.SetBus(sc.Bus)
+				w.eng.SetTracer(tracer)
+				ctrl.SetTracer(tracer)
 			}
 			w.coll = w.eng.Collector
 			w.eng.Start()

@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"amoeba/internal/controller"
 	"amoeba/internal/metrics"
 	"amoeba/internal/obs"
+	"amoeba/internal/stats"
 	"amoeba/internal/trace"
 	"amoeba/internal/units"
 	"amoeba/internal/workload"
@@ -81,6 +83,7 @@ func TestEventStreamOrderedAndComplete(t *testing.T) {
 	for _, k := range []obs.Kind{
 		obs.KindQueryComplete, obs.KindColdStart, obs.KindDecision,
 		obs.KindSwitchSpan, obs.KindHeartbeat, obs.KindMeterSample,
+		obs.KindPhaseSpan,
 	} {
 		if kinds[k] == 0 {
 			t.Errorf("no %q events in a switching run", k)
@@ -178,6 +181,221 @@ func TestSwitchTimelineFromEvents(t *testing.T) {
 		}
 		if sp.End < sp.FlipAt || sp.FlipAt < sp.Start {
 			t.Errorf("span at %v: Start/FlipAt/End out of order", sp.Start)
+		}
+	}
+}
+
+// TestTraceDAGReconstruction is the tentpole acceptance check: the
+// latency anatomy of a traced run must be reconstructable from spans
+// alone. Every completed query is a traced root; its phase children
+// tile the root interval exactly; the p95 and the per-60s-window QoS
+// violation tallies recomputed purely from root spans match the
+// engine's own Collector and WindowedViolations.
+func TestTraceDAGReconstruction(t *testing.T) {
+	skipIfRace(t)
+	bus := obs.NewBus()
+	ring := obs.NewRing(1 << 20)
+	bus.Attach(ring)
+	prof := workload.DD()
+	res := Run(eventScenario(0xA0EBA, bus))
+	sr := res.Services[prof.Name]
+
+	children := map[obs.SpanID][]*obs.PhaseSpan{}
+	var roots []*obs.QueryComplete
+	for _, ev := range ring.Events() {
+		switch e := ev.(type) {
+		case *obs.PhaseSpan:
+			if e.Parent != 0 {
+				children[e.Parent] = append(children[e.Parent], e)
+			}
+		case *obs.QueryComplete:
+			if e.Service == prof.Name {
+				roots = append(roots, e)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no query roots in the stream")
+	}
+	if len(roots) != sr.Collector.Count() {
+		t.Fatalf("%d query roots, collector observed %d", len(roots), sr.Collector.Count())
+	}
+
+	lat := stats.NewSample(len(roots))
+	windows := map[float64]*metrics.ViolationWindow{}
+	for _, qc := range roots {
+		if qc.Trace == 0 || qc.Span == 0 {
+			t.Fatalf("untraced query root at %v on a traced run", qc.At)
+		}
+		// The root interval is the latency; its phase children tile it
+		// (zero-length phases are dropped and contribute zero).
+		l := (qc.At - qc.Arrived).Raw()
+		var sum float64
+		for _, ph := range children[qc.Span] {
+			if ph.Trace != qc.Trace {
+				t.Fatalf("phase span %d crosses from trace %d into %d", ph.Span, ph.Trace, qc.Trace)
+			}
+			if ph.Start < qc.Arrived || ph.End > qc.At {
+				t.Fatalf("phase %q [%v, %v] escapes root [%v, %v]",
+					ph.Phase, ph.Start, ph.End, qc.Arrived, qc.At)
+			}
+			sum += (ph.End - ph.Start).Raw()
+		}
+		if diff := sum - l; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("query at %v: phases sum to %v, root interval is %v", qc.At, sum, l)
+		}
+		lat.Add(l)
+		start := float64(int(qc.At.Raw()/60)) * 60
+		w := windows[start]
+		if w == nil {
+			w = &metrics.ViolationWindow{Start: start}
+			windows[start] = w
+		}
+		w.Queries++
+		if l > prof.QoSTarget {
+			w.Violations++
+		}
+	}
+
+	exact := sr.Collector.P95()
+	rebuilt := lat.P95()
+	rel := (rebuilt - exact) / exact
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1e-6 {
+		t.Errorf("span-reconstructed p95 %.9f vs collector %.9f (rel err %.2e)", rebuilt, exact, rel)
+	}
+
+	if len(sr.ViolationWindows) == 0 {
+		t.Fatal("run closed no violation windows")
+	}
+	for _, w := range sr.ViolationWindows {
+		got := windows[w.Start]
+		if got == nil {
+			if w.Queries != 0 {
+				t.Errorf("window @%v: engine saw %d queries, spans saw none", w.Start, w.Queries)
+			}
+			continue
+		}
+		if got.Queries != w.Queries || got.Violations != w.Violations {
+			t.Errorf("window @%v: spans say %d/%d violations, engine says %d/%d",
+				w.Start, got.Violations, got.Queries, w.Violations, w.Queries)
+		}
+	}
+}
+
+// TestTraceCausalEdges checks the cross-trace edges: queries displaced
+// while a switch is in flight carry the switch span as their Cause,
+// drain phases parent to the switch span, the switch points back at the
+// ordering decision, and decisions point at the meter sample their
+// pressure inputs came from.
+func TestTraceCausalEdges(t *testing.T) {
+	skipIfRace(t)
+	bus := obs.NewBus()
+	ring := obs.NewRing(1 << 20)
+	bus.Attach(ring)
+	Run(eventScenario(0xA0EBA, bus))
+
+	spans := map[obs.SpanID]obs.Kind{}
+	var switches []*obs.SwitchSpan
+	var caused []*obs.QueryComplete
+	var drains []*obs.PhaseSpan
+	var decisions []*obs.DecisionEvent
+	for _, ev := range ring.Events() {
+		switch e := ev.(type) {
+		case *obs.SwitchSpan:
+			spans[e.Span] = e.EventKind()
+			switches = append(switches, e)
+		case *obs.DecisionEvent:
+			spans[e.Span] = e.EventKind()
+			decisions = append(decisions, e)
+		case *obs.MeterSample:
+			spans[e.Span] = e.EventKind()
+		case *obs.QueryComplete:
+			if e.Cause != 0 {
+				caused = append(caused, e)
+			}
+		case *obs.PhaseSpan:
+			if e.Phase == obs.PhaseDrain {
+				drains = append(drains, e)
+			}
+		}
+	}
+	if len(switches) == 0 {
+		t.Fatal("scenario produced no switches")
+	}
+	if len(caused) == 0 {
+		t.Fatal("no queries were displaced by a switch — the causal-edge path never ran")
+	}
+	for _, qc := range caused {
+		if spans[qc.Cause] != obs.KindSwitchSpan {
+			t.Fatalf("query cause %d resolves to %q, want a switch span", qc.Cause, spans[qc.Cause])
+		}
+	}
+	if len(drains) == 0 {
+		t.Fatal("no drain phase spans in a switching run")
+	}
+	for _, d := range drains {
+		if spans[d.Parent] != obs.KindSwitchSpan {
+			t.Fatalf("drain parent %d resolves to %q, want a switch span", d.Parent, spans[d.Parent])
+		}
+	}
+	for _, sp := range switches {
+		if sp.Decision == 0 || spans[sp.Decision] != obs.KindDecision {
+			t.Fatalf("switch span %d decision edge %d resolves to %q, want a decision",
+				sp.Span, sp.Decision, spans[sp.Decision])
+		}
+	}
+	meterEdges := 0
+	for _, d := range decisions {
+		if d.MeterSpan != 0 {
+			if spans[d.MeterSpan] != obs.KindMeterSample {
+				t.Fatalf("decision meter edge %d resolves to %q, want a meter sample",
+					d.MeterSpan, spans[d.MeterSpan])
+			}
+			meterEdges++
+		}
+	}
+	if meterEdges == 0 {
+		t.Fatal("no decision carries a meter-sample edge")
+	}
+}
+
+// TestTraceStreamParallelDeterministic runs the traced scenario
+// concurrently — each run with its own bus and tracer, the sweep
+// driver's configuration — and requires every stream byte-identical to
+// a sequential run. Dense per-run ID counters, not global ones, are
+// what this pins.
+func TestTraceStreamParallelDeterministic(t *testing.T) {
+	skipIfRace(t)
+	run := func() []byte {
+		var buf bytes.Buffer
+		bus := obs.NewBus()
+		w := obs.NewJSONLWriter(&buf)
+		bus.Attach(w)
+		Run(eventScenario(0xA0EBA, bus))
+		return buf.Bytes()
+	}
+	want := run()
+	const n = 3
+	got := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if !bytes.Equal(g, want) {
+			j := 0
+			for j < len(g) && j < len(want) && g[j] == want[j] {
+				j++
+			}
+			t.Fatalf("parallel run %d diverges from sequential at byte %d", i, j)
 		}
 	}
 }

@@ -109,15 +109,16 @@ const ShadowSuffix = "#shadow"
 
 // Engine drives one service.
 type Engine struct {
-	sim  *sim.Simulator
-	pool *serverless.Platform
-	vms  *iaas.Platform
-	cfg  Config
-	prof workload.Profile
-	ctrl *controller.Controller
-	mon  *monitor.Monitor
-	rng  *sim.RNG
-	bus  *obs.Bus
+	sim    *sim.Simulator
+	pool   *serverless.Platform
+	vms    *iaas.Platform
+	cfg    Config
+	prof   workload.Profile
+	ctrl   *controller.Controller
+	mon    *monitor.Monitor
+	rng    *sim.RNG
+	bus    *obs.Bus
+	tracer *obs.Tracer
 
 	Collector *metrics.Collector
 	Timeline  *metrics.Timeline
@@ -129,6 +130,10 @@ type Engine struct {
 	mode       metrics.Backend
 	switching  bool
 	lastSwitch float64
+	// retryH is the open retry phase span while the controller's wish to
+	// switch is being held by dwell hysteresis — the causal record of
+	// "this decision kept being re-made until the dwell expired".
+	retryH obs.SpanHandle
 
 	arrivals       int     // since last tick
 	ticks          int     // sample periods elapsed
@@ -174,6 +179,12 @@ func New(s *sim.Simulator, pool *serverless.Platform, vms *iaas.Platform,
 // per decision period and one SwitchSpan per mode transition. A nil bus
 // (the default) keeps emission sites on their zero-cost path.
 func (e *Engine) SetBus(b *obs.Bus) { e.bus = b }
+
+// SetTracer attaches the causal tracer; decision events gain trace
+// coordinates, switch spans link back to the decision that caused them,
+// and dwell-held decisions open a retry phase span. A nil tracer (the
+// default) keeps every site on its zero-cost path.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
 // OnServerlessComplete must be passed as the pool completion callback for
 // the primary function registration.
@@ -307,6 +318,9 @@ func (e *Engine) tick() {
 		}
 		e.bus.Emit(&obs.DecisionEvent{
 			At:             now,
+			Trace:          d.Trace,
+			Span:           d.Span,
+			MeterSpan:      e.mon.LastMeterSpan(),
 			Service:        e.prof.Name,
 			Mode:           e.mode.String(),
 			Target:         d.Target.String(),
@@ -324,8 +338,20 @@ func (e *Engine) tick() {
 			Reason:         reason,
 		})
 	}
+	// Retry phase span: opened when the controller first wishes to switch
+	// but the dwell holds it, closed (and emitted) when the wish either
+	// proceeds or subsides. Its cause edge points at the decision span
+	// that opened it.
+	if d.Target != e.mode && !dwellOK {
+		if !e.retryH.Open() {
+			e.retryH = e.tracer.Begin(now, d.Trace, 0, d.Span, obs.PhaseRetry, e.prof.Name, e.mode.String())
+		}
+	} else if e.retryH.Open() {
+		e.tracer.End(now, e.retryH)
+		e.retryH = obs.SpanHandle{}
+	}
 	if d.Target != e.mode && dwellOK {
-		e.startSwitch(d.Target, d.LoadQPS)
+		e.startSwitch(d.Target, d.LoadQPS, d.Trace, d.Span)
 	}
 }
 
@@ -373,8 +399,11 @@ func (e *Engine) currentAlloc() resources.Vector {
 
 // startSwitch runs the §V-B protocol towards the target backend. It
 // panics on a target outside the Backend enum: the controller only ever
-// decides between the two real deployments.
-func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
+// decides between the two real deployments. dTrace/dSpan are the
+// deciding DecisionEvent's trace coordinates (zero when untraced); the
+// switch span joins that trace and registers itself as the causal
+// displacer of the service's queries until the drain completes.
+func (e *Engine) startSwitch(target metrics.Backend, load units.QPS, dTrace obs.TraceID, dSpan obs.SpanID) {
 	e.switching = true
 	e.lastSwitch = float64(e.sim.Now())
 	// The span is tracked per switch and carried through the protocol's
@@ -383,12 +412,16 @@ func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 	var sp *obs.SwitchSpan
 	if e.bus.Active() {
 		sp = &obs.SwitchSpan{
-			Service: e.prof.Name,
-			From:    e.mode.String(),
-			To:      target.String(),
-			Start:   units.Seconds(e.sim.Now()),
-			LoadQPS: load,
+			Trace:    dTrace,
+			Span:     e.tracer.NextSpan(),
+			Decision: dSpan,
+			Service:  e.prof.Name,
+			From:     e.mode.String(),
+			To:       target.String(),
+			Start:    units.Seconds(e.sim.Now()),
+			LoadQPS:  load,
 		}
+		e.tracer.SetCause(e.prof.Name, sp.Span)
 	}
 	switch target {
 	case metrics.BackendServerless:
@@ -399,12 +432,18 @@ func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 			e.switching = false
 			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load.Raw())
 			// The IaaS side drains its in-flight queries, then releases
-			// the VMs (S_sd).
+			// the VMs (S_sd). The drain is a phase span parented to the
+			// switch span: [flip, stop acknowledgement].
 			var onStopped func()
 			if sp != nil {
 				sp.FlipAt = units.Seconds(e.sim.Now())
 				sp.PrewarmS = sp.FlipAt - sp.Start
-				onStopped = func() { e.closeSpan(sp, false) }
+				drainH := e.tracer.Begin(sp.FlipAt, sp.Trace, sp.Span, 0,
+					obs.PhaseDrain, e.prof.Name, metrics.BackendIaaS.String())
+				onStopped = func() {
+					e.tracer.End(units.Seconds(e.sim.Now()), drainH)
+					e.closeSpan(sp, false)
+				}
 			}
 			e.vms.Stop(e.prof.Name, onStopped)
 		}
@@ -425,23 +464,28 @@ func (e *Engine) startSwitch(target metrics.Backend, load units.QPS) {
 			e.ctrl.SetMode(target)
 			e.switching = false
 			e.Timeline.RecordSwitch(float64(e.sim.Now()), target, load.Raw())
+			var drainH obs.SpanHandle
 			if sp != nil {
 				sp.FlipAt = units.Seconds(e.sim.Now())
 				sp.PrewarmS = sp.FlipAt - sp.Start
+				drainH = e.tracer.Begin(sp.FlipAt, sp.Trace, sp.Span, 0,
+					obs.PhaseDrain, e.prof.Name, metrics.BackendServerless.String())
 			}
-			e.drainServerless(sp)
+			e.drainServerless(sp, drainH)
 		})
 	default:
 		panic(fmt.Sprintf("engine: switch to invalid backend %v", target))
 	}
 }
 
-// closeSpan stamps the release instant on a tracked switch span and
-// emits it. sp is nil when the switch began unobserved.
+// closeSpan stamps the release instant on a tracked switch span, emits
+// it, and unregisters it as the service's displacing cause. sp is nil
+// when the switch began unobserved.
 func (e *Engine) closeSpan(sp *obs.SwitchSpan, aborted bool) {
 	if sp == nil {
 		return
 	}
+	e.tracer.ClearCause(e.prof.Name, sp.Span)
 	now := units.Seconds(e.sim.Now())
 	sp.At, sp.End = now, now
 	sp.DrainS = now - sp.FlipAt
@@ -451,17 +495,20 @@ func (e *Engine) closeSpan(sp *obs.SwitchSpan, aborted bool) {
 
 // drainServerless releases the service's warm containers once its
 // in-flight activations finish (S_sd for the serverless side). sp is the
-// switch span being tracked (nil when unobserved).
-func (e *Engine) drainServerless(sp *obs.SwitchSpan) {
+// switch span being tracked (nil when unobserved); drainH is its open
+// drain phase span (inert when untraced).
+func (e *Engine) drainServerless(sp *obs.SwitchSpan, drainH obs.SpanHandle) {
 	var poll func()
 	poll = func() {
 		if e.mode != metrics.BackendIaaS {
 			// Switched back meanwhile; keep the containers.
+			e.tracer.End(units.Seconds(e.sim.Now()), drainH)
 			e.closeSpan(sp, true)
 			return
 		}
 		if e.pool.Inflight(e.prof.Name) == 0 {
 			e.pool.ReleaseIdle(e.prof.Name)
+			e.tracer.End(units.Seconds(e.sim.Now()), drainH)
 			e.closeSpan(sp, false)
 			return
 		}

@@ -70,13 +70,21 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// pending is one waiting query: its arrival instant plus the trace
+// context and open queue-wait span carried to dispatch.
+type pending struct {
+	arrived sim.Time
+	qt      obs.QueryTrace
+	queueH  obs.SpanHandle
+}
+
 type service struct {
 	profile    workload.Profile
 	vms        int // VM count in the group
 	slots      int // total worker slots (vms × VMCores)
 	busy       int
-	queue      []sim.Time // arrival times of waiting queries
-	running    bool       // VMs up and taking traffic
+	queue      []pending // waiting queries in arrival order
+	running    bool      // VMs up and taking traffic
 	inflight   int
 	usage      *resources.Usage // allocated (rented) resources
 	busyUsage  *resources.Usage // consumed CPU: demand of executing queries
@@ -89,6 +97,7 @@ type Platform struct {
 	cfg      Config
 	rng      *sim.RNG
 	bus      *obs.Bus
+	tracer   *obs.Tracer
 	services map[string]*service
 }
 
@@ -110,6 +119,11 @@ func New(s *sim.Simulator, cfg Config) *Platform {
 // every finished query. A nil bus (the default) keeps emission sites on
 // their zero-cost path.
 func (p *Platform) SetBus(b *obs.Bus) { p.bus = b }
+
+// SetTracer attaches the causal tracer; every invocation then opens a
+// trace with queue-wait/exec phase spans. A nil tracer (the default)
+// keeps every span site on its zero-cost guarded path.
+func (p *Platform) SetTracer(t *obs.Tracer) { p.tracer = t }
 
 // ProvisionSlots returns the "just-enough" worker count for a profile: the
 // minimum slots keeping the QoS-quantile response of an M/M/k at peak
@@ -198,16 +212,20 @@ func (p *Platform) Invoke(name string) {
 	}
 	svc.inflight++
 	now := p.sim.Now()
+	q := pending{arrived: now, qt: p.tracer.StartQuery(name)}
+	q.queueH = p.tracer.Begin(units.Seconds(now), q.qt.Trace, q.qt.Span, 0,
+		obs.PhaseQueueWait, name, metrics.BackendIaaS.String())
 	if svc.busy < svc.slots {
-		p.startQuery(svc, now)
+		p.startQuery(svc, q)
 	} else {
-		svc.queue = append(svc.queue, now)
+		svc.queue = append(svc.queue, q)
 	}
 }
 
-func (p *Platform) startQuery(svc *service, arrived sim.Time) {
+func (p *Platform) startQuery(svc *service, q pending) {
 	svc.busy++
 	prof := svc.profile
+	arrived := q.arrived
 	mu, sigma := lognormalParams(prof.ExecTime, prof.ExecCV)
 	body := p.rng.LogNormal(mu, sigma)
 	bd := metrics.Breakdown{
@@ -215,12 +233,18 @@ func (p *Platform) startQuery(svc *service, arrived sim.Time) {
 		Processing: p.cfg.RPCOverhead,
 		Exec:       body,
 	}
+	nowS := units.Seconds(p.sim.Now())
+	p.tracer.End(nowS, q.queueH)
+	qt := q.qt
+	execH := p.tracer.Begin(nowS, qt.Trace, qt.Span, 0,
+		obs.PhaseExec, prof.Name, metrics.BackendIaaS.String())
 	consumed := resources.Vector{CPU: prof.Demand.CPU}
 	svc.busyUsage.Adjust(float64(p.sim.Now()), consumed)
 	p.sim.After(bd.Processing+bd.Exec, func() {
 		svc.busy--
 		svc.inflight--
 		svc.busyUsage.Adjust(float64(p.sim.Now()), consumed.Scale(-1))
+		p.tracer.End(units.Seconds(p.sim.Now()), execH)
 		if p.bus.Active() {
 			p.bus.Emit(&obs.QueryComplete{
 				At:         units.Seconds(p.sim.Now()),
@@ -231,6 +255,9 @@ func (p *Platform) startQuery(svc *service, arrived sim.Time) {
 				Queue:      units.Seconds(bd.Queue),
 				Processing: units.Seconds(bd.Processing),
 				Exec:       units.Seconds(bd.Exec),
+				Trace:      qt.Trace,
+				Span:       qt.Span,
+				Cause:      qt.Cause,
 			})
 		}
 		if svc.onComplete != nil {

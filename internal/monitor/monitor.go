@@ -135,6 +135,12 @@ type Monitor struct {
 	stop      []func()
 	started   bool
 	meterCPUs float64 // CPU-seconds consumed by meters (overhead tracking)
+
+	tracer *obs.Tracer
+	// lastMeterSpan is the span of the most recent MeterSample — the
+	// causal source of every pressure reading handed downstream until
+	// the next refresh.
+	lastMeterSpan obs.SpanID
 }
 
 // New creates a monitor against the given platform. The meter functions
@@ -181,6 +187,17 @@ func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, c
 // zero-cost path.
 func (m *Monitor) SetBus(b *obs.Bus) { m.bus = b }
 
+// SetTracer attaches the causal tracer; meter samples and heartbeats
+// then carry trace/span IDs, with heartbeats causally linked to the
+// meter sample their pressure inputs derived from. A nil tracer (the
+// default) leaves them untraced.
+func (m *Monitor) SetTracer(t *obs.Tracer) { m.tracer = t }
+
+// LastMeterSpan returns the span ID of the most recent pressure
+// refresh (0 when untraced or before the first refresh). Consumers of
+// Pressure() use it as the causal edge back to the sample.
+func (m *Monitor) LastMeterSpan() obs.SpanID { return m.lastMeterSpan }
+
 // Start launches the meter probes and the periodic pressure update.
 // It panics if called twice.
 func (m *Monitor) Start() {
@@ -217,6 +234,11 @@ func (m *Monitor) refresh() {
 		}
 	}
 	if m.bus.Active() {
+		trace := m.tracer.StartTrace()
+		span := m.tracer.NextSpan()
+		if span != 0 {
+			m.lastMeterSpan = span
+		}
 		m.bus.Emit(&obs.MeterSample{
 			At: units.Seconds(m.sim.Now()),
 			Latency: [3]units.Seconds{
@@ -225,6 +247,8 @@ func (m *Monitor) refresh() {
 				units.Seconds(m.meterLat[2].Value()),
 			},
 			Pressure: m.pressure,
+			Trace:    trace,
+			Span:     span,
 		})
 	}
 }
@@ -275,6 +299,9 @@ func (m *Monitor) Heartbeat(service string, features [3]float64, observedSlowdow
 			Weights:   win.weights.W,
 			Intercept: win.weights.Intercept,
 			Learned:   win.weights.Learned,
+			Trace:     m.tracer.StartTrace(),
+			Span:      m.tracer.NextSpan(),
+			MeterSpan: m.lastMeterSpan,
 		})
 	}
 }

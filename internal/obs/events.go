@@ -20,6 +20,13 @@ type QueryComplete struct {
 	CodeLoad   units.Seconds `json:"code_load_s"`
 	Exec       units.Seconds `json:"exec_s"`
 	Post       units.Seconds `json:"post_s"`
+	// Trace/Span identify this record as the root span of its query's
+	// trace (interval [Arrived, At]); phase spans parent to Span. Cause
+	// is the switch span displacing the service when the query arrived.
+	// All zero on an untraced run.
+	Trace TraceID `json:"trace,omitempty"`
+	Span  SpanID  `json:"span,omitempty"`
+	Cause SpanID  `json:"cause,omitempty"`
 }
 
 // EventKind implements Event.
@@ -82,6 +89,13 @@ type DecisionEvent struct {
 	Blocked bool   `json:"blocked"`
 	Verdict string `json:"verdict"`
 	Reason  string `json:"reason"`
+	// Trace/Span make the decision addressable as an instant span;
+	// SwitchSpan.Decision and retry phases point back at Span. MeterSpan
+	// is the causal edge to the monitor sample the pressure inputs came
+	// from. All zero on an untraced run.
+	Trace     TraceID `json:"trace,omitempty"`
+	Span      SpanID  `json:"span,omitempty"`
+	MeterSpan SpanID  `json:"meter_span,omitempty"`
 }
 
 // EventKind implements Event.
@@ -132,6 +146,14 @@ type SwitchSpan struct {
 	// Aborted marks a span whose drain was abandoned by a reverse
 	// switch; the old backend kept its resources.
 	Aborted bool `json:"aborted"`
+	// Trace/Span address the switch as an interval span ([Start, End]);
+	// drain phases parent to Span, and queries displaced while the
+	// switch is in progress carry Span as their Cause. Decision is the
+	// DecisionEvent span that ordered the switch. All zero on an
+	// untraced run.
+	Trace    TraceID `json:"trace,omitempty"`
+	Span     SpanID  `json:"span,omitempty"`
+	Decision SpanID  `json:"decision_span,omitempty"`
 }
 
 // EventKind implements Event.
@@ -159,6 +181,12 @@ type HeartbeatSample struct {
 	Weights   [3]float64 `json:"weights"`
 	Intercept float64    `json:"intercept"`
 	Learned   bool       `json:"learned"`
+	// Trace/Span address the sample as an instant span; MeterSpan is
+	// the causal edge to the pressure refresh the degradation features
+	// derived from. All zero on an untraced run.
+	Trace     TraceID `json:"trace,omitempty"`
+	Span      SpanID  `json:"span,omitempty"`
+	MeterSpan SpanID  `json:"meter_span,omitempty"`
 }
 
 // EventKind implements Event.
@@ -177,6 +205,11 @@ type MeterSample struct {
 	// (CPU, IO, net); Pressure the curve-inverted estimates.
 	Latency  [3]units.Seconds `json:"latency_s"`
 	Pressure [3]float64       `json:"pressure"`
+	// Trace/Span address the refresh as an instant span that downstream
+	// decisions and heartbeats point at via their MeterSpan edges. Zero
+	// on an untraced run.
+	Trace TraceID `json:"trace,omitempty"`
+	Span  SpanID  `json:"span,omitempty"`
 }
 
 // EventKind implements Event.

@@ -27,9 +27,9 @@ package obs
 import "amoeba/internal/units"
 
 // Kind discriminates event types in the serialized stream. The set is
-// closed: every switch over kinds must name all six members, so adding
-// a seventh kind breaks the build at every decode and fold site instead
-// of silently dropping events.
+// closed: every switch over kinds must name all seven members, so
+// adding an eighth kind breaks the build at every decode and fold site
+// instead of silently dropping events.
 //
 //amoeba:enum
 type Kind string
@@ -52,6 +52,9 @@ const (
 	// KindMeterSample is one monitor pressure refresh from the three
 	// contention meters (§IV-B).
 	KindMeterSample Kind = "meter_sample"
+	// KindPhaseSpan is one closed phase interval of a traced query or
+	// switch (queue wait, cold start, exec, drain, retry).
+	KindPhaseSpan Kind = "phase_span"
 )
 
 // Event is one telemetry record. Concrete events are emitted as
@@ -136,6 +139,8 @@ func stamp(ev Event) {
 		e.Kind = KindHeartbeat
 	case *MeterSample:
 		e.Kind = KindMeterSample
+	case *PhaseSpan:
+		e.Kind = KindPhaseSpan
 	default:
 		panic("obs: event type outside the closed taxonomy: " + string(ev.EventKind()))
 	}

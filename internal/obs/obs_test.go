@@ -55,6 +55,7 @@ func TestEventKindsRoundTrip(t *testing.T) {
 		&SwitchSpan{},
 		&HeartbeatSample{},
 		&MeterSample{},
+		&PhaseSpan{},
 	}
 	b := NewBus()
 	ring := NewRing(len(events))
@@ -84,8 +85,8 @@ func TestEventKindsRoundTrip(t *testing.T) {
 			t.Fatalf("serialized kind %q != method kind %q", probe.Kind, k)
 		}
 	}
-	if len(seen) != 6 {
-		t.Fatalf("expected 6 distinct kinds, saw %d", len(seen))
+	if len(seen) != 7 {
+		t.Fatalf("expected 7 distinct kinds, saw %d", len(seen))
 	}
 }
 

@@ -58,15 +58,23 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Labeled renders a metric name with sorted Prometheus labels from
-// alternating key/value pairs. It panics on an odd pair count — label
-// lists are literals at call sites.
-func Labeled(name string, kv ...string) string {
+// LabelSet is an interned, pre-sorted Prometheus label suffix — the
+// `{k="v",...}` block of a series name — built once and reused across
+// every series sharing the label combination. Consumers that fold per
+// event (MetricsSink) resolve a LabelSet once per label combination,
+// cache the resulting metric pointers, and never format labels again.
+// The zero LabelSet renders no suffix.
+type LabelSet struct{ suffix string }
+
+// NewLabelSet builds the sorted label block from alternating key/value
+// pairs. It panics on an odd pair count — label lists are literals at
+// call sites.
+func NewLabelSet(kv ...string) LabelSet {
 	if len(kv) == 0 {
-		return name
+		return LabelSet{}
 	}
 	if len(kv)%2 != 0 {
-		panic("obs: Labeled requires key/value pairs")
+		panic("obs: NewLabelSet requires key/value pairs")
 	}
 	type pair struct{ k, v string }
 	pairs := make([]pair, 0, len(kv)/2)
@@ -75,7 +83,6 @@ func Labeled(name string, kv ...string) string {
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
 	var b strings.Builder
-	b.WriteString(name)
 	b.WriteByte('{')
 	for i, p := range pairs {
 		if i > 0 {
@@ -85,7 +92,17 @@ func Labeled(name string, kv ...string) string {
 		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
 	}
 	b.WriteByte('}')
-	return b.String()
+	return LabelSet{suffix: b.String()}
+}
+
+// For renders the full series name for a metric under this label set.
+func (ls LabelSet) For(name string) string { return name + ls.suffix }
+
+// Labeled renders a metric name with sorted Prometheus labels from
+// alternating key/value pairs — a one-shot NewLabelSet for call sites
+// that don't retain the handle.
+func Labeled(name string, kv ...string) string {
+	return NewLabelSet(kv...).For(name)
 }
 
 // Counter returns the named counter, creating it on first use.

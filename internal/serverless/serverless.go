@@ -129,13 +129,18 @@ type container struct {
 	arrived sim.Time
 	bd      metrics.Breakdown
 	demand  resources.Vector
-	finish  func() // completes the running activation
-	expire  func() // reclaims the container after an idle timeout
+	qt      obs.QueryTrace // trace context of the running activation
+	execH   obs.SpanHandle // open exec phase span
+	coldH   obs.SpanHandle // open cold-start phase span (cold path only)
+	finish  func()         // completes the running activation
+	expire  func()         // reclaims the container after an idle timeout
 }
 
 type activation struct {
 	fn      *function
 	arrived sim.Time
+	qt      obs.QueryTrace // trace context opened at Invoke
+	queueH  obs.SpanHandle // open queue-wait phase span
 }
 
 type function struct {
@@ -159,12 +164,13 @@ type function struct {
 
 // Platform is the simulated serverless computing platform.
 type Platform struct {
-	sim   *sim.Simulator
-	cfg   Config
-	model *contention.Model
-	rng   *sim.RNG
-	bus   *obs.Bus
-	fns   map[string]*function
+	sim    *sim.Simulator
+	cfg    Config
+	model  *contention.Model
+	rng    *sim.RNG
+	bus    *obs.Bus
+	tracer *obs.Tracer
+	fns    map[string]*function
 	// coldMu and coldSigma are the lognormal parameters of the cold-start
 	// delay, precomputed once at New from the validated config.
 	coldMu    float64
@@ -207,6 +213,11 @@ func (p *Platform) Model() *contention.Model { return p.model }
 // every finished activation and ColdStart on every container start. A
 // nil bus (the default) keeps emission sites on their zero-cost path.
 func (p *Platform) SetBus(b *obs.Bus) { p.bus = b }
+
+// SetTracer attaches the causal tracer; every invocation then opens a
+// trace with queue-wait/cold-start/exec phase spans. A nil tracer (the
+// default) keeps every span site on its zero-cost guarded path.
+func (p *Platform) SetTracer(t *obs.Tracer) { p.tracer = t }
 
 // RegisterOption customises a function registration.
 type RegisterOption func(*function)
@@ -302,7 +313,11 @@ func (p *Platform) Invoke(name string) {
 		return
 	}
 	f.inflight++
-	p.queue = append(p.queue, p.takeActivation(f))
+	act := p.takeActivation(f)
+	act.qt = p.tracer.StartQuery(name)
+	act.queueH = p.tracer.Begin(units.Seconds(act.arrived), act.qt.Trace, act.qt.Span, 0,
+		obs.PhaseQueueWait, name, metrics.BackendServerless.String())
+	p.queue = append(p.queue, act)
 	p.pump()
 }
 
@@ -322,6 +337,8 @@ func (p *Platform) takeActivation(f *function) *activation {
 // needs out of it.
 func (p *Platform) putActivation(act *activation) {
 	act.fn = nil
+	act.qt = obs.QueryTrace{}
+	act.queueH = obs.SpanHandle{}
 	p.actFree = append(p.actFree, act)
 }
 
@@ -346,6 +363,8 @@ func (p *Platform) place(act *activation) bool {
 		f.idle = f.idle[:len(f.idle)-1]
 		c.reclaim.Cancel()
 		c.reclaim = sim.EventHandle{} // drop the stale handle
+		p.tracer.End(units.Seconds(p.sim.Now()), act.queueH)
+		act.queueH = obs.SpanHandle{}
 		p.execute(c, act, 0)
 		p.replenish(f)
 		return true
@@ -363,8 +382,17 @@ func (p *Platform) place(act *activation) bool {
 	}
 	c := p.newContainer(f, stateColdStarting)
 	c.bound = act
+	// The queue phase ends at binding; the cold-start phase covers the
+	// bound wait for the container.
+	nowS := units.Seconds(p.sim.Now())
+	p.tracer.End(nowS, act.queueH)
+	act.queueH = obs.SpanHandle{}
+	c.coldH = p.tracer.Begin(nowS, act.qt.Trace, act.qt.Span, 0,
+		obs.PhaseColdStart, f.profile.Name, metrics.BackendServerless.String())
 	delay := p.sampleColdStart()
 	p.sim.After(delay, func() {
+		p.tracer.End(units.Seconds(p.sim.Now()), c.coldH)
+		c.coldH = obs.SpanHandle{}
 		if c.state == stateDead {
 			return
 		}
@@ -483,8 +511,14 @@ func (p *Platform) startPrewarmOne(f *function, onWarm func()) bool {
 	}
 	c := p.newContainer(f, statePrewarming)
 	f.warming++
+	// A prewarm cold start is its own (root-less) trace, causally linked
+	// to the switch span that ordered the warming, if one is in progress.
+	coldH := p.tracer.Begin(units.Seconds(p.sim.Now()), p.tracer.StartTrace(), 0,
+		p.tracer.CauseFor(f.profile.Name), obs.PhaseColdStart,
+		f.profile.Name, metrics.BackendServerless.String())
 	delay := p.sampleColdStart()
 	p.sim.After(delay, func() {
+		p.tracer.End(units.Seconds(p.sim.Now()), coldH)
 		f.warming--
 		if c.state != stateDead {
 			if p.bus.Active() {
@@ -524,7 +558,10 @@ func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 
 	now := p.sim.Now()
 	c.arrived = act.arrived
+	c.qt = act.qt
 	p.putActivation(act)
+	c.execH = p.tracer.Begin(units.Seconds(now), c.qt.Trace, c.qt.Span, 0,
+		obs.PhaseExec, prof.Name, metrics.BackendServerless.String())
 	queueWait := float64(now-c.arrived) - coldDelay
 	if queueWait < 0 {
 		queueWait = 0
@@ -572,6 +609,8 @@ func (p *Platform) finishExec(c *container) {
 	f.usage.Adjust(float64(p.sim.Now()), c.demand.Scale(-1))
 	f.inflight--
 	p.completed++
+	p.tracer.End(units.Seconds(p.sim.Now()), c.execH)
+	c.execH = obs.SpanHandle{}
 	if p.bus.Active() {
 		p.bus.Emit(&obs.QueryComplete{
 			At:         units.Seconds(p.sim.Now()),
@@ -585,8 +624,12 @@ func (p *Platform) finishExec(c *container) {
 			CodeLoad:   units.Seconds(c.bd.CodeLoad),
 			Exec:       units.Seconds(c.bd.Exec),
 			Post:       units.Seconds(c.bd.Post),
+			Trace:      c.qt.Trace,
+			Span:       c.qt.Span,
+			Cause:      c.qt.Cause,
 		})
 	}
+	c.qt = obs.QueryTrace{}
 	if f.onComplete != nil {
 		f.onComplete(metrics.QueryRecord{
 			Service:   prof.Name,
