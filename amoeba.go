@@ -207,6 +207,18 @@ func NewScenario(v Variant, prof Benchmark, opts ScenarioOptions) Scenario {
 // given scenario and seed.
 func Run(sc Scenario) *Result { return core.Run(sc) }
 
+// RunSharded executes a scenario on the K-worker sharded kernel
+// (DESIGN.md §15): services advance on per-shard event heaps and couple
+// through the shared pool pressure only at monitor-sample-period epoch
+// barriers. Output is deterministic in (scenario, seed) and identical
+// for every shard count, including shards=1.
+func RunSharded(sc Scenario, shards int) *Result { return core.RunSharded(sc, shards) }
+
+// SyntheticFleet generates n managed services cycling the five
+// archetypes with Zipf-skewed diurnal loads — a fleet-shaped input for
+// scale tests and the sharded benchmarks.
+func SyntheticFleet(n int, seed uint64) []ServiceSpec { return core.SyntheticFleet(n, seed) }
+
 // BackgroundTenants returns the §VII-A co-tenant set (float, dd,
 // cloud_stor at a low diurnal load) for custom scenarios.
 func BackgroundTenants(dayLength Seconds, seed uint64) []ServiceSpec {

@@ -27,6 +27,14 @@
 //     event. Forward references are legal — a query's root span is
 //     emitted after its phase children.
 //
+// Merged multi-shard streams (amoeba-sim -shards) pass the same checks
+// unchanged: the epoch merge must preserve the global sim-clock order
+// (check 3), trace/span IDs are allocated from disjoint strided
+// per-cell namespaces so uniqueness must hold across the whole merged
+// stream (check 6, reporting ErrIDCollision on a collision), and causal
+// edges may cross namespaces (a heartbeat's meter_span points into the
+// monitor daemon's namespace).
+//
 // Usage:
 //
 //	amoeba-events -validate events.jsonl
@@ -45,6 +53,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +64,13 @@ import (
 	"amoeba/internal/obs"
 	"amoeba/internal/units"
 )
+
+// ErrIDCollision marks a span ID declared twice in one stream. Within a
+// single simulation it means the tracer's counter discipline broke; in
+// a merged multi-shard stream it means two cell namespaces overlapped
+// (the strided allocation should make that impossible). Callers match
+// it with errors.Is.
+var ErrIDCollision = errors.New("span ID collision")
 
 func main() {
 	var (
@@ -261,7 +277,8 @@ func (tc *traceChecker) declare(line int, kind obs.Kind, trace obs.TraceID, span
 		return nil // untraced record; nothing to register
 	}
 	if prev, dup := tc.spans[span]; dup {
-		return fmt.Errorf("line %d: %s: span %d already declared on line %d", line, kind, span, prev.line)
+		return fmt.Errorf("line %d: %s: %w: span %d already declared on line %d",
+			line, kind, ErrIDCollision, span, prev.line)
 	}
 	tc.spans[span] = spanRec{kind: kind, trace: trace, start: start, end: end, interval: interval, line: line}
 	return nil

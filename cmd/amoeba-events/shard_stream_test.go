@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"amoeba/internal/core"
+	"amoeba/internal/obs"
+	"amoeba/internal/units"
+)
+
+// mergedStream is a synthetic two-namespace merge in canonical
+// (timestamp, namespace) order, the shape core.RunSharded produces:
+// namespace 1 holds odd span IDs (stride 2), namespace 2 holds even
+// ones, and the namespace-2 decision causally references the
+// namespace-1 meter sample — a legal cross-namespace edge.
+func mergedStream(t *testing.T) string {
+	return jsonl(t,
+		&obs.MeterSample{At: 1, Trace: 1, Span: 1, Pressure: [3]float64{0.1, 0.2, 0.3}},
+		&obs.DecisionEvent{At: 2, Service: "ns2-svc", Verdict: "stay-iaas", Trace: 2, Span: 2, MeterSpan: 1},
+		&obs.DecisionEvent{At: 2, Service: "ns1-svc", Verdict: "stay-iaas", Trace: 3, Span: 3, MeterSpan: 1},
+		&obs.QueryComplete{At: 5, Service: "ns1-svc", Backend: "iaas",
+			Arrived: 3, Latency: 2, Trace: 5, Span: 5},
+		&obs.QueryComplete{At: 5, Service: "ns2-svc", Backend: "serverless",
+			Arrived: 3, Latency: 2, Trace: 4, Span: 4},
+	)
+}
+
+func TestValidateMergedMultiShardStream(t *testing.T) {
+	_, total, err := validateStream(strings.NewReader(mergedStream(t)), nil)
+	if err != nil {
+		t.Fatalf("merged stream rejected: %v", err)
+	}
+	if total != 5 {
+		t.Fatalf("validated %d events, want 5", total)
+	}
+}
+
+// TestValidateRejectsCollidingNamespaces pins the failure mode the
+// validator exists to catch after a merge: two shards handing out the
+// same span ID. The error must be identifiable as ErrIDCollision so
+// drivers can distinguish a mis-seeded merge from other trace breaks.
+func TestValidateRejectsCollidingNamespaces(t *testing.T) {
+	stream := jsonl(t,
+		&obs.QueryComplete{At: 3, Service: "a", Arrived: 1, Latency: 2, Trace: 1, Span: 7},
+		&obs.QueryComplete{At: 4, Service: "b", Arrived: 2, Latency: 2, Trace: 2, Span: 7},
+	)
+	_, _, err := validateStream(strings.NewReader(stream), nil)
+	if err == nil {
+		t.Fatal("colliding span IDs accepted")
+	}
+	if !errors.Is(err, ErrIDCollision) {
+		t.Fatalf("collision error not ErrIDCollision: %v", err)
+	}
+}
+
+// TestValidateShardedRunEndToEnd validates a real merged stream from the
+// sharded kernel. The fleet runs pure serverless (no deploy-mode
+// switches), so every causal edge is guaranteed closed by the horizon —
+// Amoeba-variant runs can legally end mid-switch, which orphans Cause
+// references by design (see the command doc).
+func TestValidateShardedRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a fleet simulation")
+	}
+	var buf bytes.Buffer
+	sc := core.FleetScenario(6, 17, units.Seconds(600))
+	sc.Variant = core.VariantOpenWhisk
+	bus := obs.NewBus()
+	bus.Attach(obs.NewJSONLWriter(&buf))
+	sc.Bus = bus
+	core.RunSharded(sc, 4)
+
+	perKind, total, err := validateStream(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("sharded run stream rejected: %v", err)
+	}
+	if total == 0 {
+		t.Fatal("sharded run emitted no events")
+	}
+	if perKind[obs.KindQueryComplete] == 0 {
+		t.Fatal("sharded run completed no queries")
+	}
+}

@@ -8,6 +8,7 @@
 //	amoeba-repro -quick          # reduced scale (seconds to a minute)
 //	amoeba-repro -exp fig11      # one artifact
 //	amoeba-repro -parallel 8     # sweep workers (0 = GOMAXPROCS)
+//	amoeba-repro -shards 8       # sharded kernel per simulation
 //	amoeba-repro -csv out/       # also write out/<artifact>.csv
 //	amoeba-repro -list           # list artifact ids
 //
@@ -133,6 +134,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0xA0EBA, "simulation seed")
 		csvDir   = flag.String("csv", "", "directory to export <artifact>.csv files into")
 		parallel = flag.Int("parallel", 0, "sweep worker count; 0 means GOMAXPROCS")
+		shards   = flag.Int("shards", 0, "run each simulation on the sharded kernel with this many workers (0 = sequential kernel)")
 	)
 	flag.Parse()
 
@@ -149,6 +151,7 @@ func main() {
 	cfg.Seed = *seed
 	suite := experiments.NewSuite(cfg)
 	suite.Parallel = *parallel
+	suite.Shards = *shards
 
 	want := map[string]bool{}
 	if *expFlag != "all" {

@@ -45,6 +45,7 @@ func main() {
 		events    = flag.String("events", "", "write the telemetry event stream as JSON lines to this file")
 		dumpReg   = flag.Bool("metrics-dump", false, "print Prometheus-text metrics after the run")
 		audit     = flag.Bool("audit", false, "print the decision-audit and switch-span tables")
+		shards    = flag.Int("shards", 0, "run on the sharded kernel with this many workers (0 = sequential kernel); output is identical for every positive value")
 	)
 	flag.Parse()
 
@@ -106,7 +107,12 @@ func main() {
 		prof.Name, *variant, *days, *dayLength)
 	sc := amoeba.NewScenario(v, prof, opts)
 	sc.Bus = bus
-	res := amoeba.Run(sc)
+	var res *amoeba.Result
+	if *shards > 0 {
+		res = amoeba.RunSharded(sc, *shards)
+	} else {
+		res = amoeba.Run(sc)
+	}
 	sr := res.Services[prof.Name]
 
 	t := report.NewTable("result", "metric", "value")

@@ -46,18 +46,36 @@ func MeterCurves(cfg serverless.Config) [3]*meters.Curve {
 	return c
 }
 
+// profileFingerprint captures every profile field that influences the
+// profiled surfaces — everything except the name. Keying the memo by
+// content instead of name lets fleets of renamed archetype clones
+// (core.SyntheticFleet) share the five archetype builds instead of
+// re-profiling per clone.
+func profileFingerprint(p workload.Profile) string {
+	return fmt.Sprintf("%v|%v|%v|%v|%v|%v|%v|%v|%v|%v",
+		p.ExecTime, p.ExecCV, p.QoSTarget, p.Demand, p.Sensitivity,
+		p.MemSensitivity, p.PeakQPS, p.Overheads, p.VMCores, p.VMMemMB)
+}
+
 // SurfaceSet returns the profiled Fig. 9 latency surfaces for a service
 // under the given platform configuration, building them on first use.
+// The memo key is the profile's numeric content, not its name: two
+// profiles differing only in name share one build.
 func SurfaceSet(prof workload.Profile, cfg serverless.Config) *surfaces.Set {
-	key := prof.Name + "§" + fingerprint(cfg)
+	key := profileFingerprint(prof) + "§" + fingerprint(cfg)
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	if s, ok := surfaceCache[key]; ok {
-		return s
+	set, ok := surfaceCache[key]
+	if !ok {
+		set = profiling.BuildSet(prof, cfg,
+			profiling.DefaultPressureGrid(), profiling.DefaultLoadGrid(prof), profiling.DefaultOptions())
+		surfaceCache[key] = set
 	}
-	set := profiling.BuildSet(prof, cfg,
-		profiling.DefaultPressureGrid(), profiling.DefaultLoadGrid(prof), profiling.DefaultOptions())
-	surfaceCache[key] = set
+	if set.Service != prof.Name {
+		// A renamed clone of a cached build: the surfaces themselves are
+		// immutable after profiling, so share them and rebind the label.
+		return &surfaces.Set{Service: prof.Name, Surfaces: set.Surfaces}
+	}
 	return set
 }
 

@@ -102,17 +102,19 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("core: non-positive duration")
 	}
 	seen := map[string]bool{}
-	for _, s := range append(append([]ServiceSpec{}, sc.Services...), sc.Background...) {
-		if err := s.Profile.Validate(); err != nil {
-			return err
+	for _, group := range [2][]ServiceSpec{sc.Services, sc.Background} {
+		for _, s := range group {
+			if err := s.Profile.Validate(); err != nil {
+				return err
+			}
+			if s.Trace == nil {
+				return fmt.Errorf("core: service %s has no trace", s.Profile.Name)
+			}
+			if seen[s.Profile.Name] {
+				return fmt.Errorf("core: duplicate service name %q", s.Profile.Name)
+			}
+			seen[s.Profile.Name] = true
 		}
-		if s.Trace == nil {
-			return fmt.Errorf("core: service %s has no trace", s.Profile.Name)
-		}
-		if seen[s.Profile.Name] {
-			return fmt.Errorf("core: duplicate service name %q", s.Profile.Name)
-		}
-		seen[s.Profile.Name] = true
 	}
 	return nil
 }

@@ -41,6 +41,14 @@ type Suite struct {
 	// runtime.GOMAXPROCS(0).
 	Parallel int
 
+	// Shards, when positive, runs every simulation on the sharded
+	// kernel (core.RunSharded) with that worker count instead of the
+	// sequential core.Run. Sharded results are deterministic per seed
+	// and identical for every shard count, but not byte-comparable to
+	// sequential runs (the cells couple only at epoch barriers), so a
+	// suite must keep one mode for its whole lifetime.
+	Shards int
+
 	mu      sync.Mutex
 	flights map[string]*flight
 
@@ -115,7 +123,11 @@ func (s *Suite) result(prof workload.Profile, v core.Variant) (*core.Result, err
 		// Profiles are memoised globally; the run itself is sequential
 		// and deterministic. Simulate outside the lock so concurrent
 		// callers can work on different keys.
-		f.r = s.run(s.Cfg.scenario(prof, v))
+		if s.Shards > 0 {
+			f.r = core.RunSharded(s.Cfg.scenario(prof, v), s.Shards)
+		} else {
+			f.r = s.run(s.Cfg.scenario(prof, v))
+		}
 	}()
 	return f.r, f.err
 }

@@ -181,6 +181,43 @@ func New(s *sim.Simulator, pool *serverless.Platform, curves [3]*meters.Curve, c
 	return m
 }
 
+// NewReplica creates a shard-local monitor replica: it holds the
+// heartbeat windows and PCA calibration state for the services of one
+// shard, but runs no meters of its own — the daemon monitor on the
+// reserved namespace-0 cell probes the contention, and the sharded
+// runtime pushes its pressure estimate into every replica at each
+// epoch barrier via PushSample (DESIGN.md §15). Between barriers the
+// replica serves Pressure/WeightsFor/Heartbeat exactly like the
+// daemon, so the execution engine is oblivious to the split.
+// It panics if the config is invalid.
+func NewReplica(s *sim.Simulator, cfg Config) *Monitor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Monitor{
+		sim:      s,
+		cfg:      cfg,
+		services: make(map[string]*sampleWindow),
+	}
+	for i := range m.meterLat {
+		m.meterLat[i] = stats.NewEWMA(cfg.MeterEWMAAlpha.Raw())
+	}
+	return m
+}
+
+// PushSample installs an externally measured pressure estimate and the
+// meter span it derives from. The sharded runtime calls this on every
+// replica at each epoch barrier with the daemon monitor's latest
+// refresh, replacing the periodic self-refresh a daemon would run.
+//
+//amoeba:noalloc
+func (m *Monitor) PushSample(pressure [3]float64, meterSpan obs.SpanID) {
+	m.pressure = pressure
+	if meterSpan != 0 {
+		m.lastMeterSpan = meterSpan
+	}
+}
+
 // SetBus attaches the telemetry bus; the monitor emits MeterSample on
 // every pressure refresh and HeartbeatSample on every calibration
 // sample. A nil bus (the default) keeps emission sites on their

@@ -47,6 +47,35 @@ func (j *JSONLWriter) Count() int { return j.n }
 // Err returns the first write or marshal error, if any.
 func (j *JSONLWriter) Err() error { return j.err }
 
+// Buffer is an unbounded in-memory sink retaining events in emission
+// order. The sharded runtime attaches one per shard-local bus and
+// drains them at every epoch barrier, merging the per-namespace
+// sequences into the output stream in canonical order; the buffer
+// therefore only ever holds one epoch's worth of events.
+type Buffer struct {
+	events []Event
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Consume implements Sink.
+func (b *Buffer) Consume(ev Event) { b.events = append(b.events, ev) }
+
+// Events returns the retained events in emission order. The slice is
+// owned by the buffer and invalidated by Reset.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Reset drops the retained events, keeping the backing capacity.
+// Emitted events are never recycled (downstream sinks may retain them);
+// only the buffer's references are released.
+func (b *Buffer) Reset() {
+	for i := range b.events {
+		b.events[i] = nil
+	}
+	b.events = b.events[:0]
+}
+
 // Ring is a bounded in-memory sink keeping the most recent events. It
 // is the cheap always-on option: a run can carry a few thousand events
 // for post-mortem rendering (decision-audit tables, switch timelines)

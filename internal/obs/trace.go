@@ -140,10 +140,19 @@ type spanSlot struct {
 // simulation. Like the Bus it fronts, a Tracer belongs to one
 // simulation goroutine, and a nil *Tracer is valid and inert, so
 // components hold one unconditionally.
+//
+// A tracer allocates from an ID namespace (ns, stride): the n-th trace
+// or span ID it hands out is ns+1 + (n-1)·stride. The default namespace
+// is (0, 1) — the dense 1, 2, 3, … sequence. The sharded runtime gives
+// every shard-local component group its own namespace with a common
+// stride, so IDs stay unique across concurrently advancing shards and —
+// because the namespace is keyed to the service, not the shard — the
+// merged stream is byte-identical for every shard count.
 type Tracer struct {
 	bus       *Bus
 	nextTrace TraceID
 	nextSpan  SpanID
+	stride    uint64
 	slots     []spanSlot
 	free      []int32
 	// causes maps service name → the switch span currently displacing
@@ -151,10 +160,32 @@ type Tracer struct {
 	causes map[string]SpanID
 }
 
-// NewTracer returns a tracer emitting on bus. A nil bus yields an
-// always-inactive tracer.
+// NewTracer returns a tracer emitting on bus, allocating IDs from the
+// dense default namespace. A nil bus yields an always-inactive tracer.
 func NewTracer(bus *Bus) *Tracer {
-	return &Tracer{bus: bus, causes: make(map[string]SpanID)}
+	return NewTracerNS(bus, 0, 1)
+}
+
+// NewTracerNS returns a tracer emitting on bus whose trace and span IDs
+// are drawn from namespace ns of stride interleaved namespaces: the
+// allocation sequence is ns+1, ns+1+stride, ns+1+2·stride, …  Distinct
+// namespaces under one stride never collide, and no namespace ever
+// allocates ID 0 (the untraced sentinel). It panics unless
+// 0 ≤ ns < stride.
+func NewTracerNS(bus *Bus, ns, stride int) *Tracer {
+	if stride < 1 || ns < 0 || ns >= stride {
+		panic("obs: tracer namespace requires 0 <= ns < stride")
+	}
+	// nextTrace/nextSpan hold the last allocated ID; pre-seed them one
+	// stride below the namespace's first ID (unsigned wraparound is fine:
+	// the first += stride lands exactly on ns+1).
+	return &Tracer{
+		bus:       bus,
+		nextTrace: TraceID(uint64(ns+1) - uint64(stride)),
+		nextSpan:  SpanID(uint64(ns+1) - uint64(stride)),
+		stride:    uint64(stride),
+		causes:    make(map[string]SpanID),
+	}
 }
 
 // Active reports whether spans would reach any sink. ID allocation and
@@ -171,7 +202,7 @@ func (t *Tracer) StartTrace() TraceID {
 	if !t.Active() {
 		return 0
 	}
-	t.nextTrace++
+	t.nextTrace += TraceID(t.stride)
 	return t.nextTrace
 }
 
@@ -182,7 +213,7 @@ func (t *Tracer) NextSpan() SpanID {
 	if !t.Active() {
 		return 0
 	}
-	t.nextSpan++
+	t.nextSpan += SpanID(t.stride)
 	return t.nextSpan
 }
 
@@ -206,8 +237,8 @@ func (t *Tracer) StartQuery(service string) QueryTrace {
 	if !t.Active() {
 		return QueryTrace{}
 	}
-	t.nextTrace++
-	t.nextSpan++
+	t.nextTrace += TraceID(t.stride)
+	t.nextSpan += SpanID(t.stride)
 	return QueryTrace{Trace: t.nextTrace, Span: t.nextSpan, Cause: t.causes[service]}
 }
 
@@ -241,7 +272,7 @@ func (t *Tracer) Begin(at units.Seconds, trace TraceID, parent, cause SpanID, ph
 	if !t.Active() || trace == 0 {
 		return SpanHandle{}
 	}
-	t.nextSpan++
+	t.nextSpan += SpanID(t.stride)
 	if len(t.free) == 0 {
 		return t.beginSlow(at, trace, parent, cause, phase, service, backend)
 	}

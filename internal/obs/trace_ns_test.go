@@ -1,0 +1,95 @@
+package obs
+
+import "testing"
+
+// activeNSTracer returns a namespaced tracer attached to a bus with a
+// sink, so allocation actually advances.
+func activeNSTracer(ns, stride int) *Tracer {
+	bus := NewBus()
+	bus.Attach(NewBuffer())
+	return NewTracerNS(bus, ns, stride)
+}
+
+// TestTracerNamespaceSequences pins the strided allocation contract:
+// namespace ns of stride N hands out ns+1, ns+1+N, ns+1+2N, … for both
+// trace and span IDs, so distinct namespaces never collide and never
+// allocate the untraced sentinel 0.
+func TestTracerNamespaceSequences(t *testing.T) {
+	const stride = 4
+	seen := map[uint64]int{}
+	for ns := 0; ns < stride; ns++ {
+		tr := activeNSTracer(ns, stride)
+		for i := 0; i < 3; i++ {
+			want := uint64(ns+1) + uint64(i*stride)
+			if got := tr.StartTrace(); uint64(got) != want {
+				t.Fatalf("ns %d trace %d = %d, want %d", ns, i, got, want)
+			}
+			got := tr.NextSpan()
+			if uint64(got) != want {
+				t.Fatalf("ns %d span %d = %d, want %d", ns, i, got, want)
+			}
+			if got == 0 {
+				t.Fatalf("ns %d allocated the untraced sentinel", ns)
+			}
+			if prev, dup := seen[uint64(got)]; dup {
+				t.Fatalf("ns %d reallocated span %d of ns %d", ns, got, prev)
+			}
+			seen[uint64(got)] = ns
+		}
+	}
+}
+
+// TestTracerDefaultNamespaceIsDense asserts NewTracer still allocates
+// the historical dense 1, 2, 3, … sequence — namespace (0, 1).
+func TestTracerDefaultNamespaceIsDense(t *testing.T) {
+	bus := NewBus()
+	bus.Attach(NewBuffer())
+	tr := NewTracer(bus)
+	for want := uint64(1); want <= 3; want++ {
+		if got := tr.StartTrace(); uint64(got) != want {
+			t.Fatalf("default trace = %d, want %d", got, want)
+		}
+		if got := tr.NextSpan(); uint64(got) != want {
+			t.Fatalf("default span = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestTracerNamespaceValidation pins the constructor's domain check.
+func TestTracerNamespaceValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 0}, {-1, 4}, {4, 4}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTracerNS(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewTracerNS(NewBus(), bad[0], bad[1])
+		}()
+	}
+}
+
+// TestBufferSink pins the epoch buffer: emission order retained, Reset
+// drops references but keeps capacity.
+func TestBufferSink(t *testing.T) {
+	buf := NewBuffer()
+	bus := NewBus()
+	bus.Attach(buf)
+	bus.Emit(&MeterSample{At: 1, Trace: 1, Span: 1})
+	bus.Emit(&MeterSample{At: 2, Trace: 2, Span: 2})
+	evs := buf.Events()
+	if len(evs) != 2 {
+		t.Fatalf("buffered %d events, want 2", len(evs))
+	}
+	if evs[0].EventTime() != 1 || evs[1].EventTime() != 2 {
+		t.Fatal("buffer reordered events")
+	}
+	buf.Reset()
+	if len(buf.Events()) != 0 {
+		t.Fatal("Reset left events behind")
+	}
+	bus.Emit(&MeterSample{At: 3, Trace: 3, Span: 3})
+	if len(buf.Events()) != 1 || buf.Events()[0].EventTime() != 3 {
+		t.Fatal("buffer broken after Reset")
+	}
+}

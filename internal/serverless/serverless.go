@@ -180,6 +180,14 @@ type Platform struct {
 	demand    resources.Vector // aggregate demand of running bodies
 	memMB     float64          // memory allocated by live containers
 	nextID    int
+	// sharedMode freezes the pressure seen by executing bodies at the
+	// externally supplied sharedPressure instead of deriving it from the
+	// platform's own aggregate demand. The sharded runtime (core.RunSharded)
+	// runs one platform per service shard and refreshes this value at every
+	// epoch barrier with the pressure of the summed cross-shard demand, so
+	// shards couple only through the barrier (DESIGN.md §15).
+	sharedMode     bool
+	sharedPressure contention.Pressure
 	// counters
 	coldStarts int
 	evictions  int
@@ -576,8 +584,7 @@ func (p *Platform) execute(c *container, act *activation, coldDelay float64) {
 	// pressure at dispatch; the lognormal parameters were fixed at
 	// Register.
 	body := p.rng.LogNormal(f.execMu, f.execSigma)
-	pressure := p.model.Pressure(p.demand)
-	body *= p.model.Slowdown(pressure, prof.Sensitivity)
+	body *= p.model.Slowdown(p.currentPressure(), prof.Sensitivity)
 
 	c.bd = metrics.Breakdown{
 		Queue:      queueWait,
@@ -707,10 +714,38 @@ func (p *Platform) InjectDemand(v resources.Vector) {
 	}
 }
 
-// Pressure returns the current platform pressure — the ground truth the
-// contention meters estimate indirectly.
-func (p *Platform) Pressure() contention.Pressure {
+// SetSharedPressure switches the platform into shared-pressure mode and
+// installs the pressure under which bodies dispatched from now on will
+// execute. In this mode the platform's own aggregate demand no longer
+// feeds its slowdowns — the caller owns the pressure signal and is
+// expected to refresh it periodically (the sharded runtime does so at
+// every epoch barrier with the aggregated cross-shard demand). The mode
+// is one-way: a platform constructed for sharded execution never
+// reverts to self-derived pressure mid-run.
+//
+//amoeba:noalloc
+func (p *Platform) SetSharedPressure(pr contention.Pressure) {
+	p.sharedMode = true
+	p.sharedPressure = pr
+}
+
+// currentPressure is the pressure applied to a body dispatched now:
+// externally frozen in shared mode, derived from the live aggregate
+// demand otherwise.
+//
+//amoeba:noalloc
+func (p *Platform) currentPressure() contention.Pressure {
+	if p.sharedMode {
+		return p.sharedPressure
+	}
 	return p.model.Pressure(p.demand)
+}
+
+// Pressure returns the current platform pressure — the ground truth the
+// contention meters estimate indirectly. In shared-pressure mode it is
+// the externally installed value.
+func (p *Platform) Pressure() contention.Pressure {
+	return p.currentPressure()
 }
 
 // DemandNow returns the aggregate running demand.
