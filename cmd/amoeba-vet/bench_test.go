@@ -7,7 +7,9 @@ import (
 )
 
 // BenchmarkAmoebaVetRepo times a full-module amoeba-vet sweep. The
-// devirt sub-bench is the shipping configuration; baseline disables the
+// devirt sub-bench is the shipping configuration (devirtualization and
+// the field-flow layer both on); fieldflow-off isolates the cost of the
+// field-sensitive func-value index; baseline disables the whole
 // devirtualization layer to measure the pre-index walk on the same
 // hardware, so CI can gate on the ratio (devirt must stay within 2x
 // baseline) instead of a machine-dependent absolute time. Pinned
@@ -17,7 +19,7 @@ func BenchmarkAmoebaVetRepo(b *testing.B) {
 	sweep := func(b *testing.B) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
-			diags, err := runAmoebaAnalyzers([]string{"./..."})
+			diags, _, err := runAmoebaAnalyzers([]string{"./..."})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -28,6 +30,11 @@ func BenchmarkAmoebaVetRepo(b *testing.B) {
 		}
 	}
 	b.Run("devirt", sweep)
+	b.Run("fieldflow-off", func(b *testing.B) {
+		analysis.FieldFlowEnabled = false
+		defer func() { analysis.FieldFlowEnabled = true }()
+		sweep(b)
+	})
 	b.Run("baseline", func(b *testing.B) {
 		analysis.DevirtEnabled = false
 		defer func() { analysis.DevirtEnabled = true }()

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"amoeba/internal/analysis"
+	"amoeba/internal/analysis/escapecheck"
+)
+
+// A jsonFinding is the machine-readable form of one finding, emitted as
+// newline-delimited JSON by -json. File paths are module-root-relative
+// with forward slashes so CI can map them onto the checkout.
+type jsonFinding struct {
+	Analyzer string   `json:"analyzer"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+	Via      []string `json:"via,omitempty"`
+	// SuppressWith is the annotation that would suppress this finding at
+	// its site, with <reason> left for the author to justify.
+	SuppressWith string `json:"suppress_with"`
+}
+
+// marshalFinding renders one finding without HTML escaping: via chains
+// ("=>") and suppression templates ("<reason>") must read verbatim in
+// terminals and CI annotations.
+func marshalFinding(f jsonFinding) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(f); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+func emitJSON(f jsonFinding) {
+	data, err := marshalFinding(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amoeba-vet:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(data))
+}
+
+// analyzerJSON converts an in-process analyzer diagnostic, relativizing
+// its absolute position against the module root.
+func analyzerJSON(modRoot string, d analysis.Diagnostic) jsonFinding {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(modRoot, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return jsonFinding{
+		Analyzer:     d.Analyzer,
+		File:         file,
+		Line:         d.Pos.Line,
+		Col:          d.Pos.Column,
+		Message:      d.Message,
+		Via:          d.Via,
+		SuppressWith: fmt.Sprintf("//amoeba:allow %s <reason>", d.Analyzer),
+	}
+}
+
+// escapeAllowsUsed runs the escapecheck pipeline for the -stale audit
+// and returns the //amoeba:allowalloc annotation positions (absolute
+// file -> line) that suppress a live compiler diagnostic. ok is false
+// when the running toolchain is not the pinned one: compiler crediting
+// is then unavailable and allowalloc staleness cannot be judged.
+func escapeAllowsUsed(modRoot string, patterns []string) (used map[string]map[int]bool, ok bool, err error) {
+	pinned, err := escapecheck.GoModToolchain(modRoot)
+	if err != nil {
+		return nil, false, err
+	}
+	if running, match := escapecheck.RunningMatches(pinned); !match {
+		fmt.Fprintf(os.Stderr,
+			"amoeba-vet: allowalloc staleness not audited: running toolchain %s is not the pinned %s\n",
+			running, pinned)
+		return nil, false, nil
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, false, fmt.Errorf("go build -gcflags=-m=2: %v\n%s", err, out)
+	}
+	src, err := escapecheck.LoadSource(modRoot)
+	if err != nil {
+		return nil, false, err
+	}
+	relUsed := src.UsedAllows(escapecheck.ParseDiags(string(out)))
+	used = make(map[string]map[int]bool, len(relUsed))
+	for rel, lines := range relUsed {
+		used[filepath.Join(modRoot, filepath.FromSlash(rel))] = lines
+	}
+	return used, true, nil
+}
+
+// runEscapes is the -escapes mode: compile the selected packages with
+// -gcflags=-m=2 under the go.mod-pinned toolchain and report every
+// compiler-proven heap allocation inside an //amoeba:noalloc body that
+// an //amoeba:allowalloc annotation does not cover. Returns the process
+// exit code (0 clean or skipped on toolchain mismatch, 1 findings, 2
+// internal error).
+func runEscapes(patterns []string, jsonOut bool) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "amoeba-vet:", err)
+		return 2
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	modRoot, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		return fail(err)
+	}
+	pinned, err := escapecheck.GoModToolchain(modRoot)
+	if err != nil {
+		return fail(err)
+	}
+	if running, ok := escapecheck.RunningMatches(pinned); !ok {
+		// The escape wording belongs to one compiler release; checking it
+		// with another toolchain would gate on diagnostics the parser was
+		// never validated against.
+		fmt.Fprintf(os.Stderr,
+			"amoeba-vet: -escapes skipped: running toolchain %s is not the pinned %s\n",
+			running, pinned)
+		return 0
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amoeba-vet: go build -gcflags=-m=2: %v\n%s", err, out)
+		return 2
+	}
+	diags := escapecheck.ParseDiags(string(out))
+	src, err := escapecheck.LoadSource(modRoot)
+	if err != nil {
+		return fail(err)
+	}
+	findings, suppressed := src.Check(diags)
+	for _, f := range findings {
+		msg := fmt.Sprintf("compiler-proven allocation in //amoeba:noalloc %s: %s",
+			f.Func, f.Diag.Message)
+		if jsonOut {
+			emitJSON(jsonFinding{
+				Analyzer:     "escapecheck",
+				File:         f.Diag.File,
+				Line:         f.Diag.Line,
+				Col:          f.Diag.Col,
+				Message:      msg,
+				SuppressWith: "//amoeba:allowalloc(<reason>)",
+			})
+		} else {
+			fmt.Printf("%s:%d:%d: %s [escapecheck]\n", f.Diag.File, f.Diag.Line, f.Diag.Col, msg)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"amoeba-vet: escapecheck: %d noalloc range(s), %d heap diagnostic(s), %d finding(s), %d suppressed\n",
+		len(src.Ranges), len(diags), len(findings), suppressed)
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

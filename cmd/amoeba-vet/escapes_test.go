@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"amoeba/internal/analysis"
+)
+
+// TestAnalyzerJSON pins the machine-readable finding shape: paths are
+// module-relative with forward slashes, the via chain survives, and the
+// suppression template names the right analyzer.
+func TestAnalyzerJSON(t *testing.T) {
+	d := analysis.Diagnostic{
+		Analyzer: "hotpath",
+		Pos:      token.Position{Filename: "/mod/internal/sim/sim.go", Line: 7, Column: 3},
+		Message:  "call to time.Now via field engine.onDrain => drain",
+		Via:      []string{"engine.onDrain", "drain"},
+	}
+	f := analyzerJSON("/mod", d)
+	data, err := marshalFinding(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"analyzer":"hotpath","file":"internal/sim/sim.go","line":7,"col":3,` +
+		`"message":"call to time.Now via field engine.onDrain => drain",` +
+		`"via":["engine.onDrain","drain"],"suppress_with":"//amoeba:allow hotpath <reason>"}`
+	if string(data) != want {
+		t.Errorf("analyzerJSON marshals to\n%s\nwant\n%s", data, want)
+	}
+
+	// Site-local finding: via omitted entirely.
+	d.Via = nil
+	data, err = marshalFinding(analyzerJSON("/mod", d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := round["via"]; present {
+		t.Errorf("empty via chain must be omitted, got %s", data)
+	}
+}

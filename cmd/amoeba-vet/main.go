@@ -22,15 +22,39 @@
 //	chancheck      close by sender once, no send-after-close, and
 //	               named-constant capacities at //amoeba:bounded params
 //
+// Two further checks round the count out to fourteen: the field-flow
+// layer (internal/analysis/fieldflow.go) that hotpath, shardsafe, and
+// alloccheck walk through — func values stored in struct fields resolve
+// to their stored callees, reported with "via field owner.field => ..."
+// chains — and escapecheck, the -escapes mode below, which cross-checks
+// //amoeba:noalloc bodies against the compiler's own escape analysis.
+//
 // Usage:
 //
-//	go run ./cmd/amoeba-vet [-no-govet] [-suppressions] [-stale] [packages]
+//	go run ./cmd/amoeba-vet [-no-govet] [-json] [-escapes] [-suppressions] [-stale] [packages]
 //
 // Packages default to ./... and accept the go tool's pattern syntax
-// restricted to this module. The exit status is non-zero when any
-// analyzer reports a finding, so CI can gate on it. Findings are
-// suppressed site-by-site with //amoeba:allow <analyzer> <reason>
-// annotations (see internal/analysis).
+// restricted to this module. Exit codes are uniform across modes:
+// 0 clean, 1 findings (or a failed audit), 2 internal error — so CI can
+// gate on them. Findings are suppressed site-by-site with
+// //amoeba:allow <analyzer> <reason> annotations (see internal/analysis).
+//
+// The -json flag emits findings as newline-delimited JSON instead of
+// text, one object per finding with analyzer, file (module-relative),
+// line, col, message, the via call chain when the analyzer tracked one,
+// and the suppression annotation that would silence it. -json implies
+// -no-govet: the standard suite has no structured output to merge.
+//
+// The -escapes mode runs the escapecheck cross-check instead of the
+// in-process analyzers: it compiles the selected packages with
+// `go build -gcflags=-m=2`, parses the compiler's heap-allocation
+// diagnostics, and reports every allocation the compiler proves inside
+// an //amoeba:noalloc body — the strict superset of what alloccheck's
+// syntactic screen can see. //amoeba:allowalloc(reason) suppresses a
+// finding on its line or the next, and the suppressed count is reported
+// for the audit trail. Because the diagnostic wording is tied to one
+// compiler release, -escapes runs only under the toolchain go.mod pins
+// and skips with a warning (exit 0) under any other.
 //
 // The -suppressions mode audits those annotations instead of running the
 // analyzers: it lists every //amoeba:allow and //amoeba:allowalloc(reason)
@@ -106,6 +130,10 @@ func main() {
 		"list every //amoeba:allow annotation with its reason; fail on missing reasons")
 	stale := flag.Bool("stale", false,
 		"audit suppression annotations against the analyzers and fail on ones that no longer suppress any finding")
+	escapes := flag.Bool("escapes", false,
+		"cross-check //amoeba:noalloc bodies against the compiler's escape analysis (go build -gcflags=-m=2)")
+	jsonOut := flag.Bool("json", false,
+		"emit findings as newline-delimited JSON (implies -no-govet)")
 	flag.Parse()
 
 	if *list {
@@ -136,8 +164,12 @@ func main() {
 		return
 	}
 
+	if *escapes {
+		os.Exit(runEscapes(patterns, *jsonOut))
+	}
+
 	failed := false
-	if !*noGovet {
+	if !*noGovet && !*jsonOut {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -146,13 +178,17 @@ func main() {
 		}
 	}
 
-	diags, err := runAmoebaAnalyzers(patterns)
+	diags, modRoot, err := runAmoebaAnalyzers(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amoeba-vet:", err)
 		os.Exit(2)
 	}
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			emitJSON(analyzerJSON(modRoot, d))
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if failed || len(diags) > 0 {
 		os.Exit(1)
@@ -178,13 +214,14 @@ func modulePackages(patterns []string) (modRoot, modPath string, paths []string,
 	return modRoot, modPath, paths, err
 }
 
-func runAmoebaAnalyzers(patterns []string) ([]analysis.Diagnostic, error) {
+func runAmoebaAnalyzers(patterns []string) ([]analysis.Diagnostic, string, error) {
 	modRoot, modPath, paths, err := modulePackages(patterns)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	loader := analysis.NewLoader(analysis.ModuleResolver(modRoot, modPath))
-	return analysis.Run(loader, paths, analyzers)
+	diags, err := analysis.Run(loader, paths, analyzers)
+	return diags, modRoot, err
 }
 
 // suppression is one inventoried annotation: an //amoeba:allow or

@@ -44,11 +44,26 @@ func reportStale(patterns []string) error {
 	if err != nil {
 		return err
 	}
+	// allowalloc annotations may suppress compiler-proven allocations
+	// that alloccheck's syntactic audit never fires on, so the escape
+	// pipeline gets a crediting pass of its own. When the pinned
+	// toolchain is unavailable the pass is skipped and allowalloc
+	// staleness is left unjudged rather than misreported.
+	escUsed, escOK, err := escapeAllowsUsed(modRoot, patterns)
+	if err != nil {
+		return err
+	}
 	var stale []staleEntry
 	for _, s := range inventory {
-		if !used[s.pos.Filename][s.pos.Line] {
-			stale = append(stale, s)
+		if used[s.pos.Filename][s.pos.Line] {
+			continue
 		}
+		if s.kind == "//amoeba:allowalloc" {
+			if !escOK || escUsed[s.pos.Filename][s.pos.Line] {
+				continue
+			}
+		}
+		stale = append(stale, s)
 	}
 	for _, s := range stale {
 		fmt.Printf("%s:%d: stale %s: suppresses no current finding; delete it\n",

@@ -49,6 +49,13 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Via is the call chain (outermost first) that led a call-graph
+	// walker from an annotated root to the flagged site, when the
+	// analyzer tracks one. Empty for site-local findings. The chain is
+	// already rendered into Message for human output; it is carried
+	// separately so machine-readable consumers (amoeba-vet -json) need
+	// not re-parse it.
+	Via []string
 }
 
 func (d Diagnostic) String() string {
@@ -94,6 +101,14 @@ type allowAt struct {
 // position, and message — e.g. one callback registered twice) collapse
 // to a single diagnostic.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfVia(pos, nil, format, args...)
+}
+
+// ReportfVia is Reportf carrying the call chain that reached pos, for
+// analyzers that walk call graphs. Deduplication still keys on the
+// rendered message alone, so two chains producing the same text collapse
+// and the first chain wins.
+func (p *Pass) ReportfVia(pos token.Pos, via []string, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allowedAt(position, p.Analyzer.Name) {
 		return
@@ -102,6 +117,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Via:      via,
 	}
 	key := d.String()
 	if p.reported == nil {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -98,6 +99,21 @@ func (r *Resolver) FileOf(pkg *types.Package, decl *ast.FuncDecl) *ast.File {
 	files, _ := r.syntaxOf(pkg)
 	for _, f := range files {
 		if f.FileStart <= decl.Pos() && decl.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// FileAt returns the syntax file of pkg containing pos, nil when the
+// package's syntax is unavailable. It generalizes FileOf to arbitrary
+// nodes — fieldflow hands walkers function literals stored in struct
+// fields of dependency packages, and their bodies must be resolved
+// against the defining file for annotation lookup.
+func (r *Resolver) FileAt(pkg *types.Package, pos token.Pos) *ast.File {
+	files, _ := r.syntaxOf(pkg)
+	for _, f := range files {
+		if f.FileStart <= pos && pos < f.FileEnd {
 			return f
 		}
 	}

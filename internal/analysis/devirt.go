@@ -27,13 +27,19 @@ package analysis
 //     resolves to ticker.fire. A variable is abandoned — no edges —
 //     the moment the tracking would be unsound: it is address-taken,
 //     assigned from a call result or any other untrackable expression,
-//     or it is a parameter (the value comes from an unseen caller).
+//     or it is a parameter (the value comes from an unseen caller);
 //
-// The residual documented gap is func-valued struct fields that escape
-// the local scope (g.onArrival stored at construction and called later):
-// binding a field write to its call sites needs inter-procedural flow
-// the framework does not model, and the runtime suites (-race, golden
-// determinism, AllocsPerRun) backstop exactly that.
+//   - struct fields: the module-wide field-sensitive flow in fieldflow.go
+//     resolves calls through func-valued struct fields (g.onArrival
+//     stored at construction and called later) to every value the
+//     universe stores in that field, with the same abandon-on-taint
+//     contract — a field that ever receives an opaque value (parameter,
+//     call result, address-taken) yields no edges.
+//
+// With the field layer in place the remaining resolution gaps are
+// tainted bindings themselves (values from unseen callers or external
+// writers) and packages without loaded syntax; the runtime suites
+// (-race, golden determinism, AllocsPerRun) backstop those.
 
 import (
 	"go/ast"
@@ -51,14 +57,22 @@ var DevirtEnabled = true
 // A CalleeEdge is one possible target of a call or of a func-valued
 // expression. Exactly one of Fn and Lit is set: Fn for named functions
 // and methods (always the generic origin, never an instantiation), Lit
-// for a function literal bound to a local. Via is empty for statically
-// bound calls; for dynamic edges it names the dispatch, e.g.
-// "dynamic dispatch on Sink.Consume => MetricsSink.Consume" or
-// "func value f => stamp", ready to splice into a diagnostic chain.
+// for a function literal bound to a local or stored in a struct field.
+// Via is empty for statically bound calls; for dynamic edges it names
+// the dispatch, e.g.
+// "dynamic dispatch on Sink.Consume => MetricsSink.Consume",
+// "func value f => stamp", or "field engine.onDrain => drain", ready to
+// splice into a diagnostic chain.
 type CalleeEdge struct {
 	Fn  *types.Func
 	Lit *ast.FuncLit
-	Via string
+	// LitPkg is set on literal edges that originate outside the calling
+	// function's own body (func values stored in struct fields): the
+	// package whose syntax and type info cover Lit, so a walker can
+	// analyze the literal's body in the right context. Nil for locally
+	// bound literals, whose bodies the walkers see inline.
+	LitPkg *types.Package
+	Via    string
 }
 
 // pkgSyntax is one package of the devirtualization universe: the
@@ -81,7 +95,9 @@ type devirtIndex struct {
 	scanned  map[*types.Package]bool
 	bindings map[*types.Var][]CalleeEdge
 	aliases  map[*types.Var][]*types.Var
+	fieldSrc map[*types.Var][]*types.Var // local -> struct-field origins it copies
 	tainted  map[*types.Var]bool
+	fields   *fieldIndex // lazily built by fieldIndexOf (fieldflow.go)
 }
 
 func (r *Resolver) index() *devirtIndex {
@@ -92,6 +108,7 @@ func (r *Resolver) index() *devirtIndex {
 			scanned:  make(map[*types.Package]bool),
 			bindings: make(map[*types.Var][]CalleeEdge),
 			aliases:  make(map[*types.Var][]*types.Var),
+			fieldSrc: make(map[*types.Var][]*types.Var),
 			tainted:  make(map[*types.Var]bool),
 		}
 		r.devirt.univ = r.universe()
@@ -139,9 +156,9 @@ func (r *Resolver) Callees(info *types.Info, call *ast.CallExpr) []*types.Func {
 }
 
 // CalleeEdges resolves a call expression to its possible target edges.
-// Builtins, conversions, and expressions the tracking cannot follow
-// (package-level func variables, struct fields, tainted locals) yield
-// no edges.
+// Builtins, conversions, and expressions neither tracking layer can
+// follow (package-level func variables, tainted locals, tainted struct
+// fields) yield no edges.
 func (r *Resolver) CalleeEdges(info *types.Info, call *ast.CallExpr) []CalleeEdge {
 	return r.FuncValueEdges(info, call.Fun)
 }
@@ -177,6 +194,9 @@ func (r *Resolver) FuncValueEdges(info *types.Info, e ast.Expr) []CalleeEdge {
 		if !DevirtEnabled {
 			return nil
 		}
+		if obj.IsField() {
+			return r.fieldEdges(obj)
+		}
 		return r.funcVarEdges(obj)
 	}
 	return nil
@@ -200,8 +220,25 @@ func (r *Resolver) dispatchEdges(iface *types.Func, prefix string) []CalleeEdge 
 
 // funcVarEdges resolves a call through a func-typed variable. Only
 // function-scope locals with a complete, untainted binding set resolve;
-// parameters, package-level variables, and fields do not.
+// parameters, package-level variables, and fields do not (fields go
+// through fieldEdges instead).
 func (r *Resolver) funcVarEdges(v *types.Var) []CalleeEdge {
+	raw := r.rawVarEdges(v)
+	if raw == nil {
+		return nil
+	}
+	out := make([]CalleeEdge, 0, len(raw))
+	for _, e := range raw {
+		e.Via = withFuncValuePrefix(v, e, r.pass.Pkg)
+		out = append(out, e)
+	}
+	return out
+}
+
+// rawVarEdges computes the binding set of a func-typed local without the
+// "func value v => ..." prefix, so the field-flow layer can reuse it for
+// locals stored into fields. nil when the set cannot be proven complete.
+func (r *Resolver) rawVarEdges(v *types.Var) []CalleeEdge {
 	if !isTrackableLocal(v) {
 		return nil
 	}
@@ -209,17 +246,20 @@ func (r *Resolver) funcVarEdges(v *types.Var) []CalleeEdge {
 	idx.scanBindingsOf(v.Pkg())
 	var out []CalleeEdge
 	visited := make(map[*types.Var]bool)
-	sound := r.collectVarEdges(v, v, visited, &out)
+	sound := r.collectVarEdges(v, visited, &out)
 	if !sound {
 		return nil
+	}
+	if out == nil {
+		out = []CalleeEdge{} // complete-but-empty (e.g. cycle head): not unsound
 	}
 	return out
 }
 
-// collectVarEdges accumulates the binding set of v (following local
-// aliases) into out, reporting false the moment any variable on the
-// chain is tainted.
-func (r *Resolver) collectVarEdges(root, v *types.Var, visited map[*types.Var]bool, out *[]CalleeEdge) bool {
+// collectVarEdges accumulates the raw binding set of v (following local
+// aliases and struct-field sources) into out, reporting false the moment
+// any variable or field on the chain is tainted.
+func (r *Resolver) collectVarEdges(v *types.Var, visited map[*types.Var]bool, out *[]CalleeEdge) bool {
 	if visited[v] {
 		return true
 	}
@@ -228,19 +268,24 @@ func (r *Resolver) collectVarEdges(root, v *types.Var, visited map[*types.Var]bo
 	if idx.tainted[v] {
 		return false
 	}
-	if len(idx.bindings[v]) == 0 && len(idx.aliases[v]) == 0 {
+	if len(idx.bindings[v]) == 0 && len(idx.aliases[v]) == 0 && len(idx.fieldSrc[v]) == 0 {
 		// Never assigned anything we saw: the value comes from
 		// somewhere the tracking cannot follow.
 		return false
 	}
-	for _, e := range idx.bindings[v] {
-		e.Via = withFuncValuePrefix(root, e, r.pass.Pkg)
-		*out = append(*out, e)
-	}
+	*out = append(*out, idx.bindings[v]...)
 	for _, a := range idx.aliases[v] {
-		if !r.collectVarEdges(root, a, visited, out) {
+		if !r.collectVarEdges(a, visited, out) {
 			return false
 		}
+	}
+	for _, f := range idx.fieldSrc[v] {
+		// f := x.onDrain: the local's values are the field's values.
+		fes := r.fieldEdges(f)
+		if fes == nil {
+			return false
+		}
+		*out = append(*out, fes...)
 	}
 	return true
 }
@@ -432,7 +477,11 @@ func (idx *devirtIndex) scanBindingsOf(pkg *types.Package) {
 				}
 			case *ast.RangeStmt:
 				idx.taintIdent(info, n.Key)
-				idx.taintIdent(info, n.Value)
+				// for _, h := range x.handlers: the element local's
+				// values are the container field's values.
+				if !idx.recordRangeFieldSrc(info, n.Value, n.X) {
+					idx.taintIdent(info, n.Value)
+				}
 			}
 			return true
 		})
@@ -486,9 +535,32 @@ func (idx *devirtIndex) recordBinding(info *types.Info, lhs, rhs ast.Expr) {
 				idx.aliases[v] = append(idx.aliases[v], obj)
 				return
 			}
+			if FieldFlowEnabled && obj.IsField() && fieldKind(obj.Type()) != fieldUntracked {
+				// f := x.onDrain: resolved through the field-flow layer.
+				idx.fieldSrc[v] = append(idx.fieldSrc[v], obj.Origin())
+				return
+			}
 		}
 	}
 	idx.tainted[v] = true
+}
+
+// recordRangeFieldSrc binds a range value variable to the func-container
+// field it iterates, reporting whether the binding was recorded.
+func (idx *devirtIndex) recordRangeFieldSrc(info *types.Info, value, x ast.Expr) bool {
+	if !FieldFlowEnabled || value == nil {
+		return false
+	}
+	v := localFuncVar(info, value)
+	if v == nil {
+		return false
+	}
+	fv, _ := funcBearingField(info, x)
+	if fv == nil || fieldKind(fv.Type()) != fieldContainer {
+		return false
+	}
+	idx.fieldSrc[v] = append(idx.fieldSrc[v], fv)
+	return true
 }
 
 // taintIdent marks a func-typed local as untrackable when the tracking

@@ -1,0 +1,58 @@
+package escapecheck
+
+// Toolchain pinning: the escape-analysis wording belongs to one compiler
+// release, so the -escapes gate runs only when the running toolchain is
+// the one go.mod pins. A mismatch is a skip-with-warning, never a
+// silent pass-or-fail on diagnostics the parser was not written for.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// GoModToolchain returns the toolchain version pinned by the go.mod at
+// modRoot: the `toolchain` directive when present, else the `go`
+// directive with the "go" prefix restored.
+func GoModToolchain(modRoot string) (string, error) {
+	path := filepath.Join(modRoot, "go.mod")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	goDirective := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if v, ok := strings.CutPrefix(line, "toolchain "); ok {
+			return strings.TrimSpace(v), nil
+		}
+		if v, ok := strings.CutPrefix(line, "go "); ok {
+			goDirective = "go" + strings.TrimSpace(v)
+		}
+	}
+	if goDirective != "" {
+		return goDirective, nil
+	}
+	return "", fmt.Errorf("%s: no toolchain or go directive", path)
+}
+
+// Series reduces a toolchain version to its language series:
+// "go1.24.0" -> "go1.24". Versions without a minor component are
+// returned unchanged.
+func Series(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+// RunningMatches reports whether the running toolchain belongs to the
+// same language series as the pinned version, returning the running
+// version for diagnostics either way.
+func RunningMatches(pinned string) (running string, ok bool) {
+	running = runtime.Version()
+	return running, Series(running) == Series(pinned)
+}

@@ -35,15 +35,21 @@
 // its module-local dependencies (whose syntax the vet driver has already
 // loaded), interface dispatch devirtualized against the module-wide
 // class-hierarchy index (narrowed to types actually instantiated or
-// address-taken — DESIGN.md §13), and calls through func-valued locals
-// whose binding set the intra-procedural tracking can prove complete.
-// Dynamic edges are named in the diagnostic chain, e.g. "via dynamic
-// dispatch on Sink.Consume => MetricsSink.Consume". Calls into packages
-// without loaded syntax (the standard library) are still not followed —
-// the forbidden table screens the stdlib surface directly — and
-// func-valued struct fields that escape the local scope remain the
-// residual documented gap that the runtime AllocsPerRun and
-// golden-determinism tests backstop.
+// address-taken — DESIGN.md §13), calls through func-valued locals whose
+// binding set the intra-procedural tracking can prove complete, and
+// calls through func-valued struct fields resolved by the module-wide
+// field-flow layer (DESIGN.md §16) — callbacks registered on engines,
+// sinks, and configs are walked wherever their bodies live, including
+// function literals stored in fields by dependency packages. Dynamic
+// edges are named in the diagnostic chain, e.g. "via dynamic dispatch on
+// Sink.Consume => MetricsSink.Consume" or "via field engine.onDrain =>
+// drain". Calls into packages without loaded syntax (the standard
+// library) are still not followed — the forbidden table screens the
+// stdlib surface directly — and bindings either tracker abandons as
+// tainted (values from unseen callers or external writers) are the
+// residual gap that the runtime AllocsPerRun and golden-determinism
+// tests backstop; escapecheck closes the allocation half of it with the
+// compiler's own escape analysis.
 //
 // Transitive findings are reported at the call edge in the analyzed
 // package with the full chain in the message, so an //amoeba:allow
@@ -75,6 +81,7 @@ func run(pass *analysis.Pass) error {
 		resolve: analysis.NewResolver(pass),
 		allows:  analysis.NewAllowSites(pass.Fset),
 		memo:    make(map[*types.Func][]reach),
+		litMemo: make(map[*ast.FuncLit][]reach),
 	}
 	for _, f := range pass.Files {
 		for _, fd := range analysis.MarkedFuncs(pass.Fset, f, analysis.AnnotNoAlloc) {
@@ -97,11 +104,13 @@ type reach struct {
 }
 
 type walker struct {
-	pass    *analysis.Pass
-	resolve *analysis.Resolver
-	allows  *analysis.AllowSites
-	memo    map[*types.Func][]reach
-	busy    []*types.Func // in-progress stack for cycle cut-off
+	pass     *analysis.Pass
+	resolve  *analysis.Resolver
+	allows   *analysis.AllowSites
+	memo     map[*types.Func][]reach
+	busy     []*types.Func // in-progress stack for cycle cut-off
+	litMemo  map[*ast.FuncLit][]reach
+	busyLits []*ast.FuncLit
 }
 
 // spliceVia rewrites a reach chain for a dynamic edge: the edge label
@@ -136,19 +145,20 @@ func (w *walker) callbackRoots(f *ast.File) {
 			w.reportRoot(arg.Body, "sim."+name+" callback")
 		default:
 			for _, edge := range w.resolve.FuncValueEdges(info, arg) {
-				if edge.Lit != nil {
+				if edge.Lit != nil && edge.LitPkg == nil {
 					// A literal bound to a local and scheduled by name:
 					// the literal's body is the callback.
 					w.reportRoot(edge.Lit.Body, "sim."+name+" callback")
 					continue
 				}
-				callee := analysis.FuncDisplayName(w.pass.Pkg, edge.Fn)
-				if edge.Via != "" {
-					callee = edge.Via
+				callee := edge.Via
+				if callee == "" {
+					callee = analysis.FuncDisplayName(w.pass.Pkg, edge.Fn)
 				}
-				for _, r := range w.analyze(edge.Fn) {
-					w.pass.Reportf(arg.Pos(), "sim.%s callback %s reaches %s (%s) via %s",
-						name, callee, r.api, r.why, strings.Join(spliceVia(edge.Via, r.chain), " -> "))
+				for _, r := range w.edgeReaches(edge) {
+					chain := spliceVia(edge.Via, r.chain)
+					w.pass.ReportfVia(arg.Pos(), chain, "sim.%s callback %s reaches %s (%s) via %s",
+						name, callee, r.api, r.why, strings.Join(chain, " -> "))
 				}
 			}
 		}
@@ -173,16 +183,28 @@ func (w *walker) reportRoot(body *ast.BlockStmt, root string) {
 			return true
 		}
 		for _, edge := range w.resolve.CalleeEdges(info, call) {
-			if edge.Lit != nil {
-				continue // literal bound to a local: its body is walked inline
-			}
-			for _, r := range w.analyze(edge.Fn) {
-				w.pass.Reportf(call.Pos(), "hot path %s reaches %s (%s) via %s",
-					root, r.api, r.why, strings.Join(spliceVia(edge.Via, r.chain), " -> "))
+			for _, r := range w.edgeReaches(edge) {
+				chain := spliceVia(edge.Via, r.chain)
+				w.pass.ReportfVia(call.Pos(), chain, "hot path %s reaches %s (%s) via %s",
+					root, r.api, r.why, strings.Join(chain, " -> "))
 			}
 		}
 		return true
 	})
+}
+
+// edgeReaches dispatches one callee edge: named functions analyze by
+// declaration, field-stored function literals by body in their defining
+// package; locally bound literals yield nothing because their bodies are
+// walked inline by the enclosing inspection.
+func (w *walker) edgeReaches(edge analysis.CalleeEdge) []reach {
+	if edge.Lit != nil {
+		if edge.LitPkg == nil {
+			return nil // literal bound to a local: its body is walked inline
+		}
+		return w.analyzeLit(edge.Lit, edge.LitPkg)
+	}
+	return w.analyze(edge.Fn)
 }
 
 // analyze computes the forbidden APIs reachable from fn, one reach per
@@ -204,9 +226,37 @@ func (w *walker) analyze(fn *types.Func) []reach {
 	w.busy = append(w.busy, fn)
 	defer func() { w.busy = w.busy[:len(w.busy)-1] }()
 
-	info := w.resolve.InfoOf(pkg)
-	file := w.resolve.FileOf(pkg, decl)
-	self := analysis.FuncDisplayName(w.pass.Pkg, fn)
+	out := w.reachesIn(decl.Body, w.resolve.InfoOf(pkg), w.resolve.FileOf(pkg, decl),
+		analysis.FuncDisplayName(w.pass.Pkg, fn))
+	w.memo[fn] = out
+	return out
+}
+
+// analyzeLit computes the forbidden APIs reachable from a function
+// literal stored in a struct field, walked in the type-checking context
+// of its defining package. The chain head is "function literal" so that
+// spliceVia replaces it with the edge label naming the field hop.
+func (w *walker) analyzeLit(lit *ast.FuncLit, pkg *types.Package) []reach {
+	if rs, ok := w.litMemo[lit]; ok {
+		return rs
+	}
+	for _, b := range w.busyLits {
+		if b == lit {
+			return nil // cycle: the first visit owns the result
+		}
+	}
+	w.busyLits = append(w.busyLits, lit)
+	defer func() { w.busyLits = w.busyLits[:len(w.busyLits)-1] }()
+
+	out := w.reachesIn(lit.Body, w.resolve.InfoOf(pkg), w.resolve.FileAt(pkg, lit.Pos()),
+		"function literal")
+	w.litMemo[lit] = out
+	return out
+}
+
+// reachesIn scans one walked body, collecting one reach per distinct
+// forbidden API with self as the chain head.
+func (w *walker) reachesIn(body *ast.BlockStmt, info *types.Info, file *ast.File, self string) []reach {
 	var out []reach
 	seen := make(map[string]bool)
 	add := func(r reach) {
@@ -215,7 +265,7 @@ func (w *walker) analyze(fn *types.Func) []reach {
 			out = append(out, r)
 		}
 	}
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -232,17 +282,13 @@ func (w *walker) analyze(fn *types.Func) []reach {
 			return true
 		}
 		for _, edge := range w.resolve.CalleeEdges(info, call) {
-			if edge.Lit != nil {
-				continue // literal bound to a local: its body is walked inline
-			}
-			for _, r := range w.analyze(edge.Fn) {
+			for _, r := range w.edgeReaches(edge) {
 				add(reach{api: r.api, why: r.why,
 					chain: append([]string{self}, spliceVia(edge.Via, r.chain)...)})
 			}
 		}
 		return true
 	})
-	w.memo[fn] = out
 	return out
 }
 

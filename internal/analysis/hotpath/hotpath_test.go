@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPath(t *testing.T) {
-	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotuser", "hotmulti")
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotuser", "hotmulti", "hotfield")
 }

@@ -30,11 +30,14 @@
 //
 // The walk resolves every edge the shared resolver can justify:
 // statically bound calls, interface dispatch devirtualized against the
-// module-wide class-hierarchy index (DESIGN.md §13), and calls through
-// func-valued locals with a provably complete binding set — dynamic
-// edges are named in the chain ("via dynamic dispatch on ... => ...").
-// Standard-library internals and func-valued struct fields that escape
-// the local scope remain the residual documented gaps, backed at
+// module-wide class-hierarchy index (DESIGN.md §13), calls through
+// func-valued locals with a provably complete binding set, and calls
+// through func-valued struct fields resolved by the module-wide
+// field-flow layer (DESIGN.md §16) — dynamic edges are named in the
+// chain ("via dynamic dispatch on ... => ...", "via field cell.onDrain
+// => ..."), and function literals stored in fields are walked in their
+// defining package's context. Standard-library internals and bindings
+// the trackers abandon as tainted remain the residual gaps, backed at
 // runtime by the -race suite over the same drivers. Transitive findings
 // are reported at the call edge in the analyzed package with the chain
 // in the message, so an //amoeba:allow shardsafe suppression can sit
@@ -68,6 +71,7 @@ func run(pass *analysis.Pass) error {
 		resolve: analysis.NewResolver(pass),
 		allows:  analysis.NewAllowSites(pass.Fset),
 		memo:    make(map[*types.Func][]finding),
+		litMemo: make(map[*ast.FuncLit][]finding),
 	}
 	for _, f := range pass.Files {
 		for _, fd := range analysis.MarkedFuncs(pass.Fset, f, analysis.AnnotShard) {
@@ -85,11 +89,13 @@ type finding struct {
 }
 
 type walker struct {
-	pass    *analysis.Pass
-	resolve *analysis.Resolver
-	allows  *analysis.AllowSites
-	memo    map[*types.Func][]finding
-	busy    []*types.Func // in-progress stack for cycle cut-off
+	pass     *analysis.Pass
+	resolve  *analysis.Resolver
+	allows   *analysis.AllowSites
+	memo     map[*types.Func][]finding
+	busy     []*types.Func // in-progress stack for cycle cut-off
+	litMemo  map[*ast.FuncLit][]finding
+	busyLits []*ast.FuncLit
 }
 
 // spliceVia rewrites a finding chain for a dynamic edge: the edge label
@@ -117,17 +123,29 @@ func (w *walker) reportRoot(file *ast.File, fd *ast.FuncDecl) {
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
 			for _, edge := range w.resolve.CalleeEdges(info, call) {
-				if edge.Lit != nil {
-					continue // literal bound to a local: its body is walked inline
-				}
-				for _, f := range w.analyze(edge.Fn) {
-					w.pass.Reportf(call.Pos(), "shard worker %s reaches code that %s via %s",
-						root, f.desc, strings.Join(spliceVia(edge.Via, f.chain), " -> "))
+				for _, f := range w.edgeFindings(edge) {
+					chain := spliceVia(edge.Via, f.chain)
+					w.pass.ReportfVia(call.Pos(), chain, "shard worker %s reaches code that %s via %s",
+						root, f.desc, strings.Join(chain, " -> "))
 				}
 			}
 		}
 		return true
 	})
+}
+
+// edgeFindings dispatches one callee edge: named functions analyze by
+// declaration, field-stored function literals by body in their defining
+// package; locally bound literals yield nothing because their bodies are
+// walked inline by the enclosing inspection.
+func (w *walker) edgeFindings(edge analysis.CalleeEdge) []finding {
+	if edge.Lit != nil {
+		if edge.LitPkg == nil {
+			return nil // literal bound to a local: its body is walked inline
+		}
+		return w.analyzeLit(edge.Lit, edge.LitPkg)
+	}
+	return w.analyze(edge.Fn)
 }
 
 // analyze computes the isolation violations inside fn and everything it
@@ -160,42 +178,7 @@ func (w *walker) analyze(fn *types.Func) []finding {
 	defer func() { w.busy = w.busy[:len(w.busy)-1] }()
 
 	info := w.resolve.InfoOf(pkg)
-	self := analysis.FuncDisplayName(w.pass.Pkg, fn)
-	var out []finding
-	seen := make(map[string]bool)
-	add := func(f finding) {
-		if !seen[f.desc] {
-			seen[f.desc] = true
-			out = append(out, f)
-		}
-	}
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		if n == nil {
-			return true
-		}
-		// An //amoeba:allow shardsafe at the violating line inside a
-		// walked body suppresses the finding for every root that
-		// reaches it: one annotation at the origin, not one per edge.
-		if pos, ok := w.allows.Covering(file, n.Pos(), w.pass.Analyzer.Name); ok {
-			w.pass.UseAnnotation(pos)
-			return true
-		}
-		if desc, ok := violationDesc(info, decl, n); ok {
-			add(finding{desc: desc, chain: []string{self}})
-			return true
-		}
-		if call, ok := n.(*ast.CallExpr); ok {
-			for _, edge := range w.resolve.CalleeEdges(info, call) {
-				if edge.Lit != nil {
-					continue // literal bound to a local: its body is walked inline
-				}
-				for _, f := range w.analyze(edge.Fn) {
-					add(finding{desc: f.desc, chain: append([]string{self}, spliceVia(edge.Via, f.chain)...)})
-				}
-			}
-		}
-		return true
-	})
+	out := w.findingsIn(decl, decl.Body, info, file, analysis.FuncDisplayName(w.pass.Pkg, fn))
 	if boundary != token.NoPos {
 		// Audit mode walked past the boundary only to test its liveness:
 		// a non-empty subtree means the marker still shields something.
@@ -209,9 +192,74 @@ func (w *walker) analyze(fn *types.Func) []finding {
 	return out
 }
 
-// violationDesc classifies one AST node inside the function declared by
-// decl against the shard-isolation rules.
-func violationDesc(info *types.Info, decl *ast.FuncDecl, n ast.Node) (desc string, ok bool) {
+// analyzeLit computes the isolation violations inside a function literal
+// stored in a struct field, walked in the type-checking context of its
+// defining package. The chain head is "function literal" so that
+// spliceVia replaces it with the edge label naming the field hop.
+// Literals cannot carry a //amoeba:shardsafe boundary (the marker
+// attaches to declarations), so the walk never short-circuits here.
+func (w *walker) analyzeLit(lit *ast.FuncLit, pkg *types.Package) []finding {
+	if fs, ok := w.litMemo[lit]; ok {
+		return fs
+	}
+	for _, b := range w.busyLits {
+		if b == lit {
+			return nil // cycle: the first visit owns the result
+		}
+	}
+	w.busyLits = append(w.busyLits, lit)
+	defer func() { w.busyLits = w.busyLits[:len(w.busyLits)-1] }()
+
+	out := w.findingsIn(lit, lit.Body, w.resolve.InfoOf(pkg), w.resolve.FileAt(pkg, lit.Pos()),
+		"function literal")
+	w.litMemo[lit] = out
+	return out
+}
+
+// findingsIn scans one walked body, collecting one finding per distinct
+// violation description with self as the chain head. scope is the
+// enclosing function syntax (declaration or literal) used to decide
+// channel locality.
+func (w *walker) findingsIn(scope ast.Node, body *ast.BlockStmt, info *types.Info, file *ast.File, self string) []finding {
+	var out []finding
+	seen := make(map[string]bool)
+	add := func(f finding) {
+		if !seen[f.desc] {
+			seen[f.desc] = true
+			out = append(out, f)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		// An //amoeba:allow shardsafe at the violating line inside a
+		// walked body suppresses the finding for every root that
+		// reaches it: one annotation at the origin, not one per edge.
+		if pos, ok := w.allows.Covering(file, n.Pos(), w.pass.Analyzer.Name); ok {
+			w.pass.UseAnnotation(pos)
+			return true
+		}
+		if desc, ok := violationDesc(info, scope, n); ok {
+			add(finding{desc: desc, chain: []string{self}})
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, edge := range w.resolve.CalleeEdges(info, call) {
+				for _, f := range w.edgeFindings(edge) {
+					add(finding{desc: f.desc, chain: append([]string{self}, spliceVia(edge.Via, f.chain)...)})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// violationDesc classifies one AST node inside the function whose syntax
+// is scope (a declaration or a walked literal) against the
+// shard-isolation rules.
+func violationDesc(info *types.Info, scope ast.Node, n ast.Node) (desc string, ok bool) {
 	switch n := n.(type) {
 	case *ast.AssignStmt:
 		for _, lhs := range n.Lhs {
@@ -224,7 +272,7 @@ func violationDesc(info *types.Info, decl *ast.FuncDecl, n ast.Node) (desc strin
 			return "writes package-level " + v.Name(), true
 		}
 	case *ast.SendStmt:
-		if v, shared := sharedChannel(info, decl, n.Chan); shared {
+		if v, shared := sharedChannel(info, scope, n.Chan); shared {
 			name := "channel expression"
 			if v != nil {
 				name = v.Name()
@@ -284,10 +332,10 @@ func pkgLevelTarget(info *types.Info, e ast.Expr) *types.Var {
 
 // sharedChannel reports whether the channel expression of a send escapes
 // the shard: its base variable is declared outside the enclosing
-// function declaration (package-level, or not an identifier at all).
-// Parameters, the receiver, and local makes all live inside decl's
+// function syntax (package-level, or not an identifier at all).
+// Parameters, the receiver, and local makes all live inside scope's
 // source range and are allowed.
-func sharedChannel(info *types.Info, decl *ast.FuncDecl, ch ast.Expr) (*types.Var, bool) {
+func sharedChannel(info *types.Info, scope ast.Node, ch ast.Expr) (*types.Var, bool) {
 	for {
 		switch x := ch.(type) {
 		case *ast.ParenExpr:
@@ -301,7 +349,7 @@ func sharedChannel(info *types.Info, decl *ast.FuncDecl, ch ast.Expr) (*types.Va
 			if !ok {
 				return nil, true
 			}
-			if v.Pos() >= decl.Pos() && v.Pos() < decl.End() {
+			if v.Pos() >= scope.Pos() && v.Pos() < scope.End() {
 				return v, false
 			}
 			return v, true

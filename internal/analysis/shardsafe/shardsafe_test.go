@@ -8,5 +8,5 @@ import (
 )
 
 func TestShardSafe(t *testing.T) {
-	analysistest.Run(t, "testdata", shardsafe.Analyzer, "shardwork", "shardmulti")
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "shardwork", "shardmulti", "shardfield")
 }

@@ -1,0 +1,102 @@
+// Package shardfield exercises the field-sensitive func-value flow for
+// shardsafe: callbacks stored in struct fields of a worker cell are
+// walked with "via field" chains — including function literals, whose
+// channel-locality is judged against the literal's own scope — while
+// fields that receive opaque caller values resolve to nothing.
+package shardfield
+
+var (
+	total int
+	leak  = make(chan int, 1)
+)
+
+func flushGlobal() { total++ }
+
+// cell is one worker's state with callbacks bound at construction.
+type cell struct {
+	onFlush func()
+	hooks   []func()
+}
+
+func newCell() *cell {
+	c := &cell{onFlush: flushGlobal}
+	c.hooks = append(c.hooks, flushGlobal)
+	return c
+}
+
+// Run reaches the package-level write through the field-stored callback.
+//
+//amoeba:shard
+func Run(jobs <-chan int, c *cell) {
+	for range jobs {
+		c.onFlush() // want `shard worker Run reaches code that writes package-level total via field cell\.onFlush => flushGlobal`
+	}
+}
+
+// RunHooks ranges over the container field; the element local resolves
+// through its field source.
+//
+//amoeba:shard
+func RunHooks(jobs <-chan int, c *cell) {
+	for range jobs {
+		for _, h := range c.hooks {
+			h() // want `shard worker RunHooks reaches code that writes package-level total via func value h => field cell\.hooks => flushGlobal`
+		}
+	}
+}
+
+// sender stores a literal that leaks onto a package-level channel; the
+// send is judged against the literal's scope, so the channel is shared.
+type sender struct {
+	send func(int)
+}
+
+func newSender() *sender {
+	return &sender{send: func(v int) { leak <- v }}
+}
+
+//amoeba:shard
+func Ship(jobs <-chan int, s *sender) {
+	for j := range jobs {
+		s.send(j) // want `shard worker Ship reaches code that sends on leak, a channel not passed in as a parameter via field sender\.send => function literal`
+	}
+}
+
+// local stores a literal whose plumbing stays inside its own scope:
+// channels it makes itself are shard-internal, no finding.
+type local struct {
+	pump func(int) int
+}
+
+func newLocal() *local {
+	return &local{pump: func(v int) int {
+		ch := make(chan int, 1)
+		ch <- v
+		return <-ch
+	}}
+}
+
+//amoeba:shard
+func Pump(jobs <-chan int, out chan<- int, l *local) {
+	for j := range jobs {
+		out <- l.pump(j)
+	}
+}
+
+// custom receives its callback from an unseen caller: the field taints
+// and the walk stays quiet.
+type custom struct {
+	fn func()
+}
+
+// SetFn is the external write that makes custom.fn opaque.
+func SetFn(c *custom, f func()) {
+	c.fn = f
+}
+
+//amoeba:shard
+func Quiet(jobs <-chan int, c *custom) {
+	for range jobs {
+		c.fn()
+	}
+}

@@ -142,6 +142,7 @@ func stamp(ev Event) {
 	case *PhaseSpan:
 		e.Kind = KindPhaseSpan
 	default:
+		//amoeba:allowalloc(cold panic path: concat fires only on an event outside the closed taxonomy)
 		panic("obs: event type outside the closed taxonomy: " + string(ev.EventKind()))
 	}
 }

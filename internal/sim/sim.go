@@ -111,9 +111,11 @@ func (s *Simulator) Cancelled() uint64 { return s.cancelled }
 //amoeba:noalloc
 func (s *Simulator) schedule(at Time, fn func(), period float64) EventHandle {
 	if at < s.now {
+		//amoeba:allowalloc(cold panic path: message boxing fires only on a broken model invariant)
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, s.now))
 	}
 	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		//amoeba:allowalloc(cold panic path: message boxing fires only on a broken model invariant)
 		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", float64(at)))
 	}
 	idx := s.alloc(at, fn, period)
@@ -135,6 +137,7 @@ func (s *Simulator) At(at Time, fn func()) EventHandle {
 //amoeba:noalloc
 func (s *Simulator) After(delay float64, fn func()) EventHandle {
 	if delay < 0 {
+		//amoeba:allowalloc(cold panic path: message boxing fires only on a broken model invariant)
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return s.schedule(s.now+Time(delay), fn, 0)
@@ -181,6 +184,7 @@ func (s *Simulator) Run(horizon Time) uint64 {
 			// closure-based ticker produced.
 			at := s.now + Time(ev.period)
 			if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+				//amoeba:allowalloc(cold panic path: message boxing fires only on a broken model invariant)
 				panic(fmt.Sprintf("sim: scheduling at non-finite time %v", float64(at)))
 			}
 			ev.at = at

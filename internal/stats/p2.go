@@ -54,6 +54,7 @@ func (q *P2Quantile) reinit() {
 //amoeba:noalloc
 func (q *P2Quantile) Reset() {
 	if q.p <= 0 || q.p >= 1 {
+		//amoeba:allowalloc(cold panic path: message boxing fires only on a misused estimator)
 		panic(fmt.Sprintf("stats: Reset of unconfigured P² estimator (p=%v)", q.p))
 	}
 	q.reinit()
